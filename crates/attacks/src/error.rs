@@ -1,0 +1,87 @@
+use dinar_data::DataError;
+use dinar_fl::FlError;
+use dinar_nn::NnError;
+use std::fmt;
+
+/// Error type for attack construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// A network operation failed.
+    Nn(NnError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// An FL evaluation helper failed.
+    Fl(FlError),
+    /// The attack was configured inconsistently.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The evaluation request was invalid (e.g. empty member set).
+    InvalidEvaluation {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// `score` was called on a shadow attack that has not been fitted.
+    NotFitted,
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "network error: {e}"),
+            AttackError::Data(e) => write!(f, "data error: {e}"),
+            AttackError::Fl(e) => write!(f, "fl error: {e}"),
+            AttackError::InvalidConfig { reason } => {
+                write!(f, "invalid attack configuration: {reason}")
+            }
+            AttackError::InvalidEvaluation { reason } => {
+                write!(f, "invalid attack evaluation: {reason}")
+            }
+            AttackError::NotFitted => write!(f, "shadow attack used before fitting"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Data(e) => Some(e),
+            AttackError::Fl(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for AttackError {
+    fn from(e: NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<DataError> for AttackError {
+    fn from(e: DataError) -> Self {
+        AttackError::Data(e)
+    }
+}
+
+impl From<FlError> for AttackError {
+    fn from(e: FlError) -> Self {
+        AttackError::Fl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AttackError = NnError::BackwardBeforeForward { layer: "x" }.into();
+        assert!(e.to_string().contains("network error"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(AttackError::NotFitted.to_string().contains("fitting"));
+    }
+}

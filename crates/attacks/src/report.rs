@@ -1,0 +1,114 @@
+//! Attack reporting beyond the single AUC number.
+//!
+//! The paper evaluates with attack AUC (Appendix A); the modern MIA
+//! literature additionally reports **TPR at low FPR** ("can the attacker
+//! confidently identify *some* members?") and balanced attack accuracy at
+//! the best threshold. This module derives all of them from the same score
+//! sets so experiment binaries can print a full picture.
+
+use crate::AttackResult;
+use dinar_metrics::roc::{attack_auc, roc_curve};
+use serde::Serialize;
+
+/// A full attack report derived from member/non-member score sets.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttackReport {
+    /// Raw AUC in `[0, 1]`.
+    pub auc: f64,
+    /// Reported AUC in `[0.5, 1]` (inversion-corrected, as the paper plots).
+    pub reported_auc: f64,
+    /// Best balanced accuracy over all thresholds.
+    pub best_accuracy: f64,
+    /// True-positive rate at 10% false-positive rate.
+    pub tpr_at_10pct_fpr: f64,
+    /// True-positive rate at 1% false-positive rate.
+    pub tpr_at_1pct_fpr: f64,
+    /// Number of members / non-members evaluated.
+    pub samples_per_side: (usize, usize),
+}
+
+impl AttackReport {
+    /// Builds the report from raw score sets (higher = more likely member).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either score set is empty or contains NaN (same contract
+    /// as [`attack_auc`]).
+    pub fn from_scores(member_scores: &[f32], nonmember_scores: &[f32]) -> Self {
+        let auc = attack_auc(member_scores, nonmember_scores);
+        let curve = roc_curve(member_scores, nonmember_scores);
+        let mut best_accuracy: f64 = 0.5;
+        for point in &curve {
+            // Balanced accuracy at this threshold.
+            let acc = (point.tpr + (1.0 - point.fpr)) / 2.0;
+            best_accuracy = best_accuracy.max(acc).max(1.0 - acc);
+        }
+        AttackReport {
+            auc,
+            reported_auc: auc.max(1.0 - auc),
+            best_accuracy,
+            tpr_at_10pct_fpr: tpr_at_fpr(&curve, 0.10),
+            tpr_at_1pct_fpr: tpr_at_fpr(&curve, 0.01),
+            samples_per_side: (member_scores.len(), nonmember_scores.len()),
+        }
+    }
+
+    /// Builds the report from an [`AttackResult`].
+    pub fn from_result(result: &AttackResult) -> Self {
+        AttackReport::from_scores(&result.member_scores, &result.nonmember_scores)
+    }
+}
+
+/// Highest TPR achievable with FPR ≤ `fpr_budget` (ROC is a step function,
+/// so this is the max over qualifying points).
+fn tpr_at_fpr(curve: &[dinar_metrics::roc::RocPoint], fpr_budget: f64) -> f64 {
+    curve
+        .iter()
+        .filter(|p| p.fpr <= fpr_budget + 1e-12)
+        .map(|p| p.tpr)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_attacker_report() {
+        let r = AttackReport::from_scores(&[0.9, 0.8, 0.7], &[0.3, 0.2, 0.1]);
+        assert!((r.auc - 1.0).abs() < 1e-12);
+        assert!((r.best_accuracy - 1.0).abs() < 1e-12);
+        assert!((r.tpr_at_1pct_fpr - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_attacker_report() {
+        let mut rng = dinar_tensor::Rng::seed_from(0);
+        let m: Vec<f32> = (0..1000).map(|_| rng.uniform()).collect();
+        let n: Vec<f32> = (0..1000).map(|_| rng.uniform()).collect();
+        let r = AttackReport::from_scores(&m, &n);
+        assert!((r.auc - 0.5).abs() < 0.05);
+        assert!(r.best_accuracy < 0.58);
+        // At 1% FPR a random attacker identifies ~1% of members.
+        assert!(r.tpr_at_1pct_fpr < 0.05);
+    }
+
+    #[test]
+    fn tpr_at_fpr_is_monotone_in_budget() {
+        let mut rng = dinar_tensor::Rng::seed_from(1);
+        let m: Vec<f32> = (0..300).map(|_| rng.normal_with(1.0, 1.0)).collect();
+        let n: Vec<f32> = (0..300).map(|_| rng.normal()).collect();
+        let r = AttackReport::from_scores(&m, &n);
+        assert!(r.tpr_at_1pct_fpr <= r.tpr_at_10pct_fpr + 1e-12);
+        assert!(r.tpr_at_10pct_fpr <= 1.0);
+        assert_eq!(r.samples_per_side, (300, 300));
+    }
+
+    #[test]
+    fn inverted_scores_still_report_above_half() {
+        let r = AttackReport::from_scores(&[0.1, 0.2], &[0.8, 0.9]);
+        assert!(r.auc < 0.1);
+        assert!((r.reported_auc - 1.0).abs() < 1e-12);
+        assert!((r.best_accuracy - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Attack-side costs: shadow-model fitting (one-time) and per-model scoring
+//! (per attacked upload).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dinar_attacks::shadow::{ShadowAttack, ShadowConfig};
+use dinar_attacks::threshold::LossThresholdAttack;
+use dinar_attacks::MembershipAttack;
+use dinar_data::catalog::{self, Profile};
+use dinar_data::split::attack_split;
+use dinar_nn::{models, Model};
+use dinar_tensor::Rng;
+use std::hint::black_box;
+
+fn arch(rng: &mut Rng) -> dinar_nn::Result<Model> {
+    models::fcnn6(600, 100, 48, rng)
+}
+
+fn bench_shadow_fit(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let dataset = catalog::purchase100(Profile::Mini)
+        .generate(&mut rng)
+        .unwrap();
+    let split = attack_split(&dataset, &mut rng).unwrap();
+    let attacker = split
+        .attacker
+        .subset(&(0..240).collect::<Vec<_>>())
+        .unwrap();
+    c.bench_function("shadow_fit_3x10epochs", |b| {
+        b.iter(|| {
+            let mut attack = ShadowAttack::new(ShadowConfig {
+                num_shadows: 3,
+                shadow_epochs: 10,
+                attack_epochs: 20,
+                ..ShadowConfig::default()
+            });
+            attack.fit(&attacker, arch).unwrap();
+            black_box(attack)
+        });
+    });
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let dataset = catalog::purchase100(Profile::Mini)
+        .generate(&mut rng)
+        .unwrap();
+    let split = attack_split(&dataset, &mut rng).unwrap();
+    let samples = split.test.subset(&(0..200).collect::<Vec<_>>()).unwrap();
+    let model = arch(&mut rng).unwrap();
+    let params = model.params();
+    let mut template = arch(&mut rng).unwrap();
+
+    c.bench_function("loss_threshold_score_200", |b| {
+        let mut attack = LossThresholdAttack;
+        b.iter(|| black_box(attack.score(&params, &mut template, &samples).unwrap()));
+    });
+
+    let mut shadow = ShadowAttack::new(ShadowConfig {
+        num_shadows: 2,
+        shadow_epochs: 5,
+        attack_epochs: 10,
+        ..ShadowConfig::default()
+    });
+    shadow
+        .fit(
+            &split.attacker.subset(&(0..160).collect::<Vec<_>>()).unwrap(),
+            arch,
+        )
+        .unwrap();
+    c.bench_function("shadow_score_200", |b| {
+        b.iter(|| black_box(shadow.score(&params, &mut template, &samples).unwrap()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_shadow_fit, bench_scoring
+}
+criterion_main!(benches);

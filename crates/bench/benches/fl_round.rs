@@ -1,0 +1,113 @@
+//! Criterion counterpart of Table 3: the cost of one FL round per defense
+//! configuration (client training + upload transform + aggregation),
+//! measured on the GTSRB/VGG11-mini workload.
+//!
+//! The printed relative times are the overhead story: DINAR tracks the
+//! undefended baseline; DP/GC/SA variants pay for their transforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dinar::middleware::DinarMiddleware;
+use dinar::DinarConfig;
+use dinar_data::catalog::{self, Profile};
+use dinar_data::partition::{partition_dataset, Distribution};
+use dinar_data::split::attack_split;
+use dinar_data::Dataset;
+use dinar_defenses::{
+    DpOptimizer, DpParams, GradientCompression, SaGroup, SecureAggregation, WeakDp,
+};
+use dinar_fl::{ClientMiddleware, FlConfig, FlSystem};
+use dinar_nn::{models, optim::Adagrad, Model};
+use dinar_tensor::Rng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn shards() -> Vec<Dataset> {
+    let mut rng = Rng::seed_from(55);
+    let dataset = catalog::gtsrb(Profile::Mini).generate(&mut rng).unwrap();
+    let split = attack_split(&dataset, &mut rng).unwrap();
+    // Small shards: the bench measures per-round overhead ratios, not scale.
+    let small = split
+        .train
+        .subset(&(0..160).collect::<Vec<_>>())
+        .unwrap();
+    partition_dataset(&small, 2, Distribution::Iid, &mut rng).unwrap()
+}
+
+fn arch(rng: &mut Rng) -> dinar_nn::Result<Model> {
+    models::vgg11_mini(3, 43, rng)
+}
+
+fn build(defense: &str, shards: Vec<Dataset>) -> FlSystem {
+    let counts: Vec<usize> = shards.iter().map(Dataset::len).collect();
+    let is_ldp = defense == "ldp";
+    let mut builder = FlSystem::builder(FlConfig {
+        local_epochs: 1,
+        batch_size: 32,
+        seed: 9,
+    })
+    .clients_from_shards(shards, arch, move |id| {
+        if is_ldp {
+            Box::new(
+                DpOptimizer::new(
+                    Box::new(dinar_nn::optim::Adam::new(1e-3)),
+                    DpParams::paper_default(),
+                    Rng::seed_from(id as u64),
+                )
+                .with_amortization_over(2),
+            )
+        } else {
+            Box::new(Adagrad::new(0.05))
+        }
+    })
+    .unwrap();
+    builder = match defense {
+        "wdp" => builder.with_client_middleware(|id| {
+            vec![Box::new(WeakDp::paper_default(Rng::seed_from(id as u64)))
+                as Box<dyn ClientMiddleware>]
+        }),
+        "gc" => builder.with_client_middleware(|_| {
+            vec![Box::new(GradientCompression::new(0.1)) as Box<dyn ClientMiddleware>]
+        }),
+        "sa" => {
+            let group = SaGroup::from_sample_counts(&counts, 3);
+            builder.with_client_middleware(move |_| {
+                vec![Box::new(SecureAggregation::new(Arc::clone(&group)))
+                    as Box<dyn ClientMiddleware>]
+            })
+        }
+        "dinar" => {
+            let config = DinarConfig::default();
+            builder.with_client_middleware(move |id| {
+                vec![Box::new(DinarMiddleware::new(8, config, id as u64))
+                    as Box<dyn ClientMiddleware>]
+            })
+        }
+        _ => builder,
+    };
+    builder.build().unwrap()
+}
+
+fn bench_round_per_defense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fl_round_gtsrb");
+    group.sample_size(10);
+    for defense in ["baseline", "wdp", "ldp", "gc", "sa", "dinar"] {
+        group.bench_with_input(BenchmarkId::from_parameter(defense), &defense, |b, d| {
+            b.iter_batched(
+                || build(d, shards()),
+                |mut system| {
+                    black_box(system.run_round().unwrap());
+                    system
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_round_per_defense
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Ablation bench: cost of DINAR's per-round transforms (obfuscation
+//! strategies × personalization restore) on a VGG11-mini parameter set —
+//! the "DINAR adds no overhead" claim of Table 3 quantified in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dinar::obfuscation::{obfuscate_layer, ObfuscationStrategy};
+use dinar_nn::models;
+use dinar_tensor::Rng;
+use std::hint::black_box;
+
+fn bench_obfuscation_strategies(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(0);
+    let model = models::vgg11_mini(3, 43, &mut rng).unwrap();
+    let params = model.params();
+    let penultimate = params.num_layers() - 2;
+
+    let mut group = c.benchmark_group("obfuscate_penultimate");
+    for (name, strategy) in [
+        ("random", ObfuscationStrategy::Random),
+        ("zeros", ObfuscationStrategy::Zeros),
+        ("gaussian", ObfuscationStrategy::Gaussian),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
+            let mut obf_rng = Rng::seed_from(1);
+            b.iter_batched(
+                || params.clone(),
+                |mut p| {
+                    black_box(obfuscate_layer(&mut p, penultimate, s, &mut obf_rng).unwrap());
+                    p
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_personalization_restore(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let model = models::vgg11_mini(3, 43, &mut rng).unwrap();
+    let params = model.params();
+    let stored = params.layers[params.num_layers() - 2].clone();
+    c.bench_function("personalization_restore", |b| {
+        b.iter_batched(
+            || params.clone(),
+            |mut p| {
+                let idx = p.num_layers() - 2;
+                p.layers[idx] = stored.clone();
+                black_box(p)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_whole_model_noise_for_contrast(c: &mut Criterion) {
+    // What the DP defenses pay instead: noising EVERY parameter.
+    let mut rng = Rng::seed_from(3);
+    let model = models::vgg11_mini(3, 43, &mut rng).unwrap();
+    let params = model.params();
+    c.bench_function("full_model_gaussian_noise", |b| {
+        let mut noise_rng = Rng::seed_from(4);
+        b.iter_batched(
+            || params.clone(),
+            |mut p| {
+                dinar_defenses::dp::add_gaussian_noise(&mut p, 0.01, &mut noise_rng);
+                black_box(p)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_obfuscation_strategies, bench_personalization_restore, bench_whole_model_noise_for_contrast
+}
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Fig. 1: per-layer Jensen–Shannon divergence between member and
+//! non-member gradient distributions on unprotected FL models, for GTSRB,
+//! CelebA, Texas100 and Purchase100.
+//!
+//! The paper's finding is that one layer dominates (the penultimate layer on
+//! its deep CNNs / real data). On our synthetic substitutes a dominant layer
+//! also exists but sits earlier in the network — see EXPERIMENTS.md for the
+//! analysis of this deviation.
+
+use dinar::sensitivity::{layer_divergences, SensitivityConfig};
+use dinar_bench::harness::{model_for, ExperimentSpec};
+use dinar_bench::report;
+use dinar_data::catalog::{self, Profile};
+use dinar_data::split::attack_split;
+use dinar_nn::loss::CrossEntropyLoss;
+use dinar_nn::optim::{Adagrad, Optimizer};
+use dinar_tensor::Rng;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig1Row {
+    dataset: String,
+    divergences: Vec<f64>,
+    argmax_layer: usize,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut results = Vec::new();
+    for entry in [
+        catalog::gtsrb(Profile::Mini),
+        catalog::celeba(Profile::Mini),
+        catalog::texas100(Profile::Mini),
+        catalog::purchase100(Profile::Mini),
+    ] {
+        let spec = ExperimentSpec::mini_default(entry.clone());
+        let mut rng = Rng::seed_from(spec.seed);
+        let dataset = entry.generate(&mut rng)?;
+        let split = attack_split(&dataset, &mut rng)?;
+        // Train a single unprotected model the way one FL client would.
+        let mut model = model_for(&entry, &mut rng)?;
+        let members = split.train.subset(&(0..300.min(split.train.len())).collect::<Vec<_>>())?;
+        let mut opt = Adagrad::new(spec.dinar_opt.1);
+        let loss_fn = CrossEntropyLoss;
+        for _ in 0..spec.rounds * spec.local_epochs {
+            for idx in members.batch_indices(spec.batch_size, &mut rng) {
+                let b = members.batch(&idx)?;
+                let logits = model.forward(&b.features, true)?;
+                let (_, grad) = loss_fn.loss_and_grad(&logits, &b.labels)?;
+                model.zero_grad();
+                model.backward(&grad)?;
+                opt.step(&mut model)?;
+            }
+        }
+        let divergences = layer_divergences(
+            &mut model,
+            &members,
+            &split.test,
+            &SensitivityConfig::default(),
+            &mut rng,
+        )?;
+        let argmax = divergences
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        println!("\n{} — per-layer JS divergence (member vs non-member gradients):", entry.name());
+        for (i, d) in divergences.iter().enumerate() {
+            let bar = "#".repeat((d * 80.0).round() as usize);
+            let marker = if i == argmax { "  <-- most sensitive" } else { "" };
+            println!("  layer {i:>2}: {d:.4} {bar}{marker}");
+        }
+        results.push(Fig1Row {
+            dataset: entry.name().to_string(),
+            divergences,
+            argmax_layer: argmax,
+        });
+    }
+    let path = report::write_json("fig1", &results)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

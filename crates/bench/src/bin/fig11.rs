@@ -1,0 +1,44 @@
+//! Fig. 11 (ablation): DINAR with its adaptive training (Adagrad, Alg. 1)
+//! vs DINAR variants using Adam, ADGD and AdaMax — Purchase100.
+//!
+//! The paper reports all variants reach the same optimal privacy (50% AUC)
+//! while the Adagrad variant attains the best accuracy.
+
+use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
+use dinar_bench::report;
+use dinar_data::catalog::{self, Profile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig11Row {
+    optimizer: String,
+    accuracy_pct: f64,
+    local_auc_pct: f64,
+    global_auc_pct: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Fig. 11 — DINAR optimizer ablation (Purchase100)\n");
+    println!("  optimizer | accuracy | local AUC | global AUC");
+    let mut results = Vec::new();
+    for (name, lr) in [("adam", 1e-2f32), ("adgd", 1e-2), ("adamax", 1e-2), ("adagrad", 0.05)] {
+        let mut spec = ExperimentSpec::mini_default(catalog::purchase100(Profile::Mini));
+        spec.dinar_opt = (name, lr);
+        let mut env = prepare(spec)?;
+        let p = env.dinar_layer;
+        let o = run_defense(&mut env, &Defense::dinar(p))?;
+        println!(
+            "  {name:<9} | {:>7.1}% | {:>8.1}% | {:>9.1}%",
+            o.accuracy_pct, o.local_auc_pct, o.global_auc_pct
+        );
+        results.push(Fig11Row {
+            optimizer: name.to_string(),
+            accuracy_pct: o.accuracy_pct,
+            local_auc_pct: o.local_auc_pct,
+            global_auc_pct: o.global_auc_pct,
+        });
+    }
+    let path = report::write_json("fig11", &results)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Fig. 6: privacy evaluation — attack AUC against the global model and the
+//! clients' local models (uploads), for six datasets × seven defense
+//! configurations.
+//!
+//! This is the paper's headline grid. Expected shapes (paper): DINAR pins
+//! both columns near the 50% optimum everywhere; SA protects local models
+//! only; WDP barely helps; DP methods are inconsistent; No-Defense leaks.
+//!
+//! Run time: several minutes on one core (it trains 42 FL systems). The
+//! resulting JSON (`bench-results/fig6.json`) is reused by `fig7`.
+
+use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec, Outcome};
+use dinar_bench::report;
+use dinar_data::catalog::{self, Profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let datasets = vec![
+        catalog::purchase100(Profile::Mini),
+        catalog::cifar10(Profile::Mini),
+        catalog::cifar100(Profile::Mini),
+        catalog::speech_commands(Profile::Mini),
+        catalog::celeba(Profile::Mini),
+        catalog::gtsrb(Profile::Mini),
+    ];
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for entry in datasets {
+        let name = entry.name().to_string();
+        eprintln!("[fig6] preparing {name} ...");
+        let mut env = prepare(ExperimentSpec::mini_default(entry))?;
+        let lineup = Defense::lineup(env.dinar_layer);
+        println!("\n=== {name} (DINAR layer p = {}) ===", env.dinar_layer);
+        println!("  defense     | global AUC | local AUC | accuracy");
+        for defense in lineup {
+            let o = run_defense(&mut env, &defense)?;
+            println!(
+                "  {:<11} | {:>9.1}% | {:>8.1}% | {:>7.1}%",
+                o.defense, o.global_auc_pct, o.local_auc_pct, o.accuracy_pct
+            );
+            outcomes.push(o);
+        }
+    }
+    let path = report::write_json("fig6", &outcomes)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

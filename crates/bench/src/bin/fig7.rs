@@ -1,0 +1,68 @@
+//! Fig. 7: privacy-vs-utility trade-off for local models — each defense
+//! plotted as (accuracy, attack AUC) per dataset; the best corner is
+//! bottom-right (high accuracy, 50% AUC).
+//!
+//! Reuses `bench-results/fig6.json` when present (run `fig6` first to avoid
+//! recomputing); otherwise reruns the grid.
+
+use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec, Outcome};
+use dinar_bench::report;
+use dinar_data::catalog::{self, Profile};
+use std::path::Path;
+
+fn load_or_run() -> Result<Vec<Outcome>, Box<dyn std::error::Error>> {
+    let path = Path::new(report::RESULTS_DIR).join("fig6.json");
+    if path.exists() {
+        eprintln!("[fig7] reusing {}", path.display());
+        let json = std::fs::read_to_string(&path)?;
+        return Ok(serde_json::from_str(&json)?);
+    }
+    eprintln!("[fig7] no fig6.json found; running the defense grid");
+    let mut outcomes = Vec::new();
+    for entry in [
+        catalog::purchase100(Profile::Mini),
+        catalog::cifar10(Profile::Mini),
+        catalog::cifar100(Profile::Mini),
+        catalog::speech_commands(Profile::Mini),
+        catalog::celeba(Profile::Mini),
+        catalog::gtsrb(Profile::Mini),
+    ] {
+        let mut env = prepare(ExperimentSpec::mini_default(entry))?;
+        for defense in Defense::lineup(env.dinar_layer) {
+            outcomes.push(run_defense(&mut env, &defense)?);
+        }
+    }
+    report::write_json("fig6", &outcomes)?;
+    Ok(outcomes)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let outcomes = load_or_run()?;
+    let mut datasets: Vec<String> = outcomes.iter().map(|o| o.dataset.clone()).collect();
+    datasets.dedup();
+    println!("Fig. 7 — privacy vs utility for local models");
+    println!("(best corner: high accuracy, AUC at the 50% optimum)\n");
+    for dataset in datasets {
+        println!("--- {dataset} ---");
+        println!("  defense     | accuracy (x) | attack AUC (y)");
+        let mut best: Option<&Outcome> = None;
+        for o in outcomes.iter().filter(|o| o.dataset == dataset) {
+            println!(
+                "  {:<11} | {:>11.1}% | {:>12.1}%",
+                o.defense, o.accuracy_pct, o.local_auc_pct
+            );
+            // "Best" = closest to (max accuracy, 50% AUC) in this dataset.
+            let score = |x: &Outcome| x.local_auc_pct - 50.0 + (100.0 - x.accuracy_pct) * 0.5;
+            if best.map_or(true, |b| score(o) < score(b)) {
+                best = Some(o);
+            }
+        }
+        if let Some(b) = best {
+            println!("  -> frontier point: {}", b.defense);
+        }
+        println!();
+    }
+    let path = report::write_json("fig7", &outcomes)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Fig. 9: model privacy and utility under different numbers of FL clients —
+//! Purchase100 divided across N ∈ {5, 10, 20, 30} clients.
+//!
+//! Paper shapes: fewer clients → more data per client → higher accuracy;
+//! DINAR holds the attack AUC at the optimum independent of N.
+
+use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
+use dinar_bench::report;
+use dinar_data::catalog::{self, Profile};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9Row {
+    clients: usize,
+    defense: String,
+    local_auc_pct: f64,
+    accuracy_pct: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut results = Vec::new();
+    println!("Fig. 9 — client-count sweep (Purchase100)\n");
+    println!("  clients | defense    | local AUC | accuracy");
+    for clients in [5usize, 10, 20, 30] {
+        let mut spec = ExperimentSpec::mini_default(catalog::purchase100(Profile::Mini));
+        spec.clients = clients;
+        let mut env = prepare(spec)?;
+        let dinar_layer = env.dinar_layer;
+        for defense in [Defense::None, Defense::dinar(dinar_layer)] {
+            let o = run_defense(&mut env, &defense)?;
+            println!(
+                "  {clients:>7} | {:<10} | {:>8.1}% | {:>7.1}%",
+                o.defense, o.local_auc_pct, o.accuracy_pct
+            );
+            results.push(Fig9Row {
+                clients,
+                defense: o.defense,
+                local_auc_pct: o.local_auc_pct,
+                accuracy_pct: o.accuracy_pct,
+            });
+        }
+    }
+    let path = report::write_json("fig9", &results)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

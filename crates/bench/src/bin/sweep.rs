@@ -1,0 +1,27 @@
+//! Utility (not a paper figure): runs the full defense lineup on one
+//! dataset named on the command line — handy for tuning and spot checks.
+//!
+//! ```text
+//! cargo run --release -p dinar-bench --bin sweep -- cifar10
+//! ```
+use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
+use dinar_data::catalog::{self, Profile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "purchase100".into());
+    let entry = catalog::all(Profile::Mini)
+        .into_iter()
+        .find(|e| e.name() == name)
+        .ok_or("unknown dataset")?;
+    let spec = ExperimentSpec::mini_default(entry);
+    let mut env = prepare(spec)?;
+    println!("dinar layer = {}, sensitivity argmax = {}", env.dinar_layer, env.sensitivity_argmax);
+    for defense in Defense::lineup(env.dinar_layer) {
+        let o = run_defense(&mut env, &defense)?;
+        println!(
+            "{:<11} global {:>5.1} local {:>5.1} acc {:>5.1}",
+            o.defense, o.global_auc_pct, o.local_auc_pct, o.accuracy_pct
+        );
+    }
+    Ok(())
+}

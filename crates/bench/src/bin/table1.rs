@@ -1,0 +1,37 @@
+//! Table 1: qualitative comparison of FL privacy-preserving methods.
+//!
+//! This table is the paper's taxonomy (not a measurement); the rows are
+//! reproduced verbatim so that `table3` and `fig6`/`fig7` can be read
+//! against it.
+
+use dinar_bench::report;
+
+fn main() {
+    let headers = ["Category", "Method", "Model privacy", "Model utility", "Negligible overhead"];
+    let rows: Vec<Vec<String>> = [
+        ("Cryptography-based", "PEFL", "yes", "yes", "no (severe)"),
+        ("Cryptography-based", "HybridAlpha", "yes", "yes", "no (severe)"),
+        ("Cryptography-based", "Chen et al.", "yes", "yes", "no (severe)"),
+        ("Cryptography-based", "Secure Aggregation", "yes", "yes", "no"),
+        ("TEE-based", "MixNN", "yes", "yes", "no (severe)"),
+        ("TEE-based", "GradSec", "yes", "yes", "no (severe)"),
+        ("TEE-based", "PPFL", "yes", "yes", "no (severe)"),
+        ("Perturbation-based", "CDP", "yes", "no", "no"),
+        ("Perturbation-based", "LDP", "yes", "no", "no"),
+        ("Perturbation-based", "FedGP", "yes", "no", "no"),
+        ("Perturbation-based", "WDP", "no", "yes", "no"),
+        ("Perturbation-based", "PFA", "yes", "yes", "no"),
+        ("Perturbation-based", "MR-MTL", "no", "yes", "no"),
+        ("Perturbation-based", "DP-FedSAM", "yes", "yes", "no"),
+        ("Perturbation-based", "PrivateFL", "no", "yes", "no"),
+        ("Gradient Compression", "Fu et al.", "yes", "yes", "no"),
+        ("Our method", "DINAR", "yes", "yes", "yes"),
+    ]
+    .iter()
+    .map(|(a, b, c, d, e)| vec![a.to_string(), b.to_string(), c.to_string(), d.to_string(), e.to_string()])
+    .collect();
+    println!("Table 1 — Comparison of FL privacy-preserving methods (paper taxonomy)\n");
+    print!("{}", report::table(&headers, &rows));
+    println!("\nOf these, this repository implements and measures: Secure Aggregation,");
+    println!("CDP, LDP, WDP, Gradient Compression, and DINAR (see fig6/fig7/table3).");
+}

@@ -1,0 +1,33 @@
+//! Table 2: the dataset/model inventory, with both the paper's dimensions
+//! and this reproduction's mini profiles (plus actual model parameter
+//! counts from our implementations).
+
+use dinar_bench::{harness::model_for, report};
+use dinar_data::catalog::{self, Profile};
+use dinar_tensor::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(0);
+    let headers = [
+        "Dataset", "Paper records", "Paper features", "Classes", "Model",
+        "Mini records", "Mini features", "Mini model params",
+    ];
+    let mut rows = Vec::new();
+    for entry in catalog::all(Profile::Mini) {
+        let model = model_for(&entry, &mut rng)?;
+        rows.push(vec![
+            entry.name().to_string(),
+            entry.paper.records.to_string(),
+            entry.paper.features.to_string(),
+            entry.spec.num_classes.to_string(),
+            entry.paper.model.to_string(),
+            entry.spec.num_samples.to_string(),
+            entry.spec.modality.feature_len().to_string(),
+            model.param_count().to_string(),
+        ]);
+    }
+    println!("Table 2 — Datasets and models (paper dims vs mini profiles)\n");
+    print!("{}", report::table(&headers, &rows));
+    report::write_json("table2", &catalog::all(Profile::Mini))?;
+    Ok(())
+}

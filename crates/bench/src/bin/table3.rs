@@ -1,0 +1,57 @@
+//! Table 3: overheads of FL defense mechanisms relative to the undefended
+//! baseline — client-side training duration per round, server-side
+//! aggregation duration, and client memory — GTSRB / VGG11 as in the paper.
+//!
+//! Paper reference values: WDP +35%/0%/+257%, LDP +7%/0%/+267%,
+//! CDP +0%/+3000%/+261%, GC +21%/0%/+252%, SA +21%/+4%/0%,
+//! DINAR +0%/+0%/+0%.
+
+use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
+use dinar_bench::report;
+use dinar_data::catalog::{self, Profile};
+use dinar_metrics::cost::CostSample;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table3Row {
+    defense: String,
+    cost: CostSample,
+    client_train_pct: f64,
+    server_agg_pct: f64,
+    client_mem_pct: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = ExperimentSpec::mini_default(catalog::gtsrb(Profile::Mini));
+    let mut env = prepare(spec)?;
+    let lineup = Defense::lineup(env.dinar_layer);
+    let mut baseline: Option<CostSample> = None;
+    let mut rows = Vec::new();
+    println!("Table 3 — defense overheads vs FL baseline (GTSRB / VGG11-mini)\n");
+    println!("  defense     | train/round | agg/round | client mem | d-train | d-agg | d-mem");
+    for defense in lineup {
+        let o = run_defense(&mut env, &defense)?;
+        let base = *baseline.get_or_insert(o.cost);
+        let ov = o.cost.overhead_vs(&base);
+        println!(
+            "  {:<11} | {:>9.4}s | {:>8.5}s | {:>7.2}MiB | {:>+6.0}% | {:>+4.0}% | {:>+4.0}%",
+            o.defense,
+            o.cost.client_train_s,
+            o.cost.server_agg_s,
+            o.cost.client_peak_mem_bytes as f64 / 1048576.0,
+            ov.client_train_pct,
+            ov.server_agg_pct,
+            ov.client_mem_pct
+        );
+        rows.push(Table3Row {
+            defense: o.defense.clone(),
+            cost: o.cost,
+            client_train_pct: ov.client_train_pct,
+            server_agg_pct: ov.server_agg_pct,
+            client_mem_pct: ov.client_mem_pct,
+        });
+    }
+    let path = report::write_json("table3", &rows)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # dinar-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§5). One binary per figure/table lives in `src/bin/`
+//! (`fig1` … `fig11`, `table1` … `table3`); this library holds the shared
+//! machinery:
+//!
+//! * [`harness`] — dataset → model mapping, FL-system assembly per defense,
+//!   end-to-end runs producing (attack AUC global, attack AUC local, model
+//!   utility, cost) tuples,
+//! * [`report`] — terminal tables and JSON artifacts
+//!   (written under `bench-results/`).
+//!
+//! Every experiment runs the paper's protocol: the dataset is split 50%
+//! attacker / 40% train / 10% test (§5.1); the train pool is partitioned
+//! across clients; the shadow-model MIA is fitted on the attacker split and
+//! evaluated against both the global model and the per-client uploads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod report;

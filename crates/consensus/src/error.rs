@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Error type for the voting protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConsensusError {
+    /// The vote was configured inconsistently (no nodes, no choices, or a
+    /// proposal outside the choice range).
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A node thread panicked or disconnected mid-protocol.
+    NodeFailure {
+        /// Index of the failed node.
+        node: usize,
+    },
+}
+
+impl fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusError::InvalidConfig { reason } => {
+                write!(f, "invalid vote configuration: {reason}")
+            }
+            ConsensusError::NodeFailure { node } => {
+                write!(f, "node {node} failed during the protocol")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConsensusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node() {
+        assert!(ConsensusError::NodeFailure { node: 3 }.to_string().contains('3'));
+    }
+}

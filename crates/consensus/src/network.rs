@@ -1,0 +1,336 @@
+//! Threaded message-passing simulation of the broadcast vote.
+//!
+//! Every node runs on its own thread and communicates only through channels,
+//! so the protocol logic is exercised under real concurrency: messages arrive
+//! in arbitrary order, Byzantine nodes may equivocate or stay silent, and
+//! honest nodes must decide from whatever arrives before the round deadline.
+
+use crate::{vote, ConsensusError, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::thread;
+use std::time::Duration;
+
+/// How long an honest node waits for missing votes before deciding with
+/// what it has (simulated round deadline).
+const ROUND_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A vote message broadcast between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteMsg {
+    /// Sender node id.
+    pub from: usize,
+    /// Proposed value (layer index).
+    pub value: usize,
+}
+
+/// Adversarial strategies for Byzantine nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ByzantineStrategy {
+    /// Broadcast a uniformly random (but consistent) value.
+    Random,
+    /// Broadcast a fixed chosen value (targeted manipulation).
+    Fixed(usize),
+    /// Send a *different* random value to every peer (equivocation).
+    Equivocate,
+    /// Send nothing at all (crash/omission fault).
+    Silent,
+}
+
+/// The behaviour of one node in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeBehavior {
+    /// Follows the protocol, proposing `proposal`.
+    Honest {
+        /// The value this node measured and proposes.
+        proposal: usize,
+    },
+    /// Deviates from the protocol.
+    Byzantine(ByzantineStrategy),
+}
+
+impl NodeBehavior {
+    /// Shorthand for a random-lying Byzantine node.
+    pub fn byzantine_random() -> Self {
+        NodeBehavior::Byzantine(ByzantineStrategy::Random)
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of vote alternatives (model layers).
+    pub num_choices: usize,
+    /// RNG seed for Byzantine behaviour.
+    pub seed: u64,
+}
+
+/// The result of a simulated vote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteOutcome {
+    /// Per-node decision (`None` for Byzantine nodes, which do not decide).
+    pub decisions: Vec<Option<usize>>,
+    honest: Vec<bool>,
+}
+
+impl VoteOutcome {
+    /// The value unanimously decided by all honest nodes, or `None` if the
+    /// honest nodes disagree (possible only when honest proposals were split).
+    pub fn agreed_value(&self) -> Option<usize> {
+        let mut agreed = None;
+        for (d, &h) in self.decisions.iter().zip(&self.honest) {
+            if !h {
+                continue;
+            }
+            match (agreed, d) {
+                (None, Some(v)) => agreed = Some(*v),
+                (Some(a), Some(v)) if a == *v => {}
+                _ => return None,
+            }
+        }
+        agreed
+    }
+
+    /// Decisions of honest nodes only.
+    pub fn honest_decisions(&self) -> Vec<usize> {
+        self.decisions
+            .iter()
+            .zip(&self.honest)
+            .filter(|(_, &h)| h)
+            .filter_map(|(d, _)| *d)
+            .collect()
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs the broadcast vote with one thread per node.
+///
+/// Honest nodes broadcast their proposal to every peer, wait for the round
+/// deadline (or all `n - 1` peer votes, whichever first), then decide with
+/// [`vote::decide`] over the received votes plus their own. Byzantine nodes
+/// behave per their [`ByzantineStrategy`] and report no decision.
+///
+/// # Errors
+///
+/// Returns [`ConsensusError::InvalidConfig`] for zero nodes/choices or an
+/// out-of-range honest proposal, and [`ConsensusError::NodeFailure`] if a
+/// node thread panics.
+pub fn simulate_vote(behaviors: &[NodeBehavior], config: &SimConfig) -> Result<VoteOutcome> {
+    let n = behaviors.len();
+    if n == 0 {
+        return Err(ConsensusError::InvalidConfig {
+            reason: "no nodes".into(),
+        });
+    }
+    if config.num_choices == 0 {
+        return Err(ConsensusError::InvalidConfig {
+            reason: "num_choices must be positive".into(),
+        });
+    }
+    for (i, b) in behaviors.iter().enumerate() {
+        if let NodeBehavior::Honest { proposal } = b {
+            if *proposal >= config.num_choices {
+                return Err(ConsensusError::InvalidConfig {
+                    reason: format!(
+                        "node {i} proposes {proposal}, out of range for {} choices",
+                        config.num_choices
+                    ),
+                });
+            }
+        }
+    }
+
+    // All-to-all mailboxes: one channel per receiving node.
+    let mut senders: Vec<Sender<VoteMsg>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<VoteMsg>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (i, behavior) in behaviors.iter().copied().enumerate() {
+        let my_rx = receivers[i].take().expect("receiver taken once");
+        let peers: Vec<(usize, Sender<VoteMsg>)> = senders
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(j, tx)| (j, tx.clone()))
+            .collect();
+        let num_choices = config.num_choices;
+        let mut rng_state = config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
+        handles.push(thread::spawn(move || -> Option<usize> {
+            match behavior {
+                NodeBehavior::Honest { proposal } => {
+                    for (_, tx) in &peers {
+                        // A disconnected peer is tolerated (it may be silent
+                        // Byzantine that already exited).
+                        let _ = tx.send(VoteMsg {
+                            from: i,
+                            value: proposal,
+                        });
+                    }
+                    let mut votes = vec![proposal]; // own vote
+                    while votes.len() < peers.len() + 1 {
+                        match my_rx.recv_timeout(ROUND_TIMEOUT) {
+                            Ok(msg) => votes.push(msg.value.min(num_choices - 1)),
+                            Err(_) => break, // deadline: decide with what we have
+                        }
+                    }
+                    vote::decide(&votes, num_choices).ok()
+                }
+                NodeBehavior::Byzantine(strategy) => {
+                    match strategy {
+                        ByzantineStrategy::Silent => {}
+                        ByzantineStrategy::Fixed(v) => {
+                            for (_, tx) in &peers {
+                                let _ = tx.send(VoteMsg {
+                                    from: i,
+                                    value: v % num_choices,
+                                });
+                            }
+                        }
+                        ByzantineStrategy::Random => {
+                            let v = (splitmix(&mut rng_state) % num_choices as u64) as usize;
+                            for (_, tx) in &peers {
+                                let _ = tx.send(VoteMsg { from: i, value: v });
+                            }
+                        }
+                        ByzantineStrategy::Equivocate => {
+                            for (_, tx) in &peers {
+                                let v =
+                                    (splitmix(&mut rng_state) % num_choices as u64) as usize;
+                                let _ = tx.send(VoteMsg { from: i, value: v });
+                            }
+                        }
+                    }
+                    None
+                }
+            }
+        }));
+    }
+    drop(senders);
+
+    let mut decisions = Vec::with_capacity(n);
+    for (i, h) in handles.into_iter().enumerate() {
+        decisions.push(h.join().map_err(|_| ConsensusError::NodeFailure { node: i })?);
+    }
+    Ok(VoteOutcome {
+        decisions,
+        honest: behaviors
+            .iter()
+            .map(|b| matches!(b, NodeBehavior::Honest { .. }))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn honest(n: usize, proposal: usize) -> Vec<NodeBehavior> {
+        vec![NodeBehavior::Honest { proposal }; n]
+    }
+
+    #[test]
+    fn unanimous_honest_agree() {
+        let outcome = simulate_vote(
+            &honest(5, 3),
+            &SimConfig {
+                num_choices: 6,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.agreed_value(), Some(3));
+        assert_eq!(outcome.honest_decisions(), vec![3; 5]);
+    }
+
+    #[test]
+    fn tolerates_minority_byzantine_of_every_strategy() {
+        for strategy in [
+            ByzantineStrategy::Random,
+            ByzantineStrategy::Fixed(0),
+            ByzantineStrategy::Equivocate,
+            ByzantineStrategy::Silent,
+        ] {
+            let mut behaviors = honest(4, 4);
+            behaviors.push(NodeBehavior::Byzantine(strategy));
+            behaviors.push(NodeBehavior::Byzantine(strategy));
+            let outcome = simulate_vote(
+                &behaviors,
+                &SimConfig {
+                    num_choices: 6,
+                    seed: 42,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                outcome.agreed_value(),
+                Some(4),
+                "strategy {strategy:?} broke agreement"
+            );
+        }
+    }
+
+    #[test]
+    fn split_honest_proposals_still_decide() {
+        // 3 propose layer 4, 2 propose layer 3: plurality fallback on 4.
+        let mut behaviors = honest(3, 4);
+        behaviors.extend(honest(2, 3));
+        let outcome = simulate_vote(
+            &behaviors,
+            &SimConfig {
+                num_choices: 6,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        // All honest nodes see the same 5 votes -> same decision.
+        assert_eq!(outcome.agreed_value(), Some(4));
+    }
+
+    #[test]
+    fn single_node_decides_alone() {
+        let outcome = simulate_vote(
+            &honest(1, 2),
+            &SimConfig {
+                num_choices: 3,
+                seed: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.agreed_value(), Some(2));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(simulate_vote(&[], &SimConfig { num_choices: 3, seed: 0 }).is_err());
+        assert!(simulate_vote(&honest(2, 5), &SimConfig { num_choices: 3, seed: 0 }).is_err());
+        assert!(simulate_vote(&honest(2, 0), &SimConfig { num_choices: 0, seed: 0 }).is_err());
+    }
+
+    #[test]
+    fn byzantine_nodes_report_no_decision() {
+        let mut behaviors = honest(3, 1);
+        behaviors.push(NodeBehavior::byzantine_random());
+        let outcome = simulate_vote(
+            &behaviors,
+            &SimConfig {
+                num_choices: 4,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.decisions[3], None);
+        assert!(outcome.decisions[..3].iter().all(Option::is_some));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests of the voting protocols: agreement, validity and
+//! Byzantine tolerance across arbitrary configurations.
+
+use dinar_consensus::gossip::gossip_vote;
+use dinar_consensus::network::{simulate_vote, ByzantineStrategy, NodeBehavior, SimConfig};
+use dinar_consensus::vote;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Broadcast vote: when all honest nodes propose the same value and
+    /// Byzantine nodes are a strict minority, every honest node decides the
+    /// honest value — for every adversarial strategy.
+    #[test]
+    fn broadcast_agreement_under_byzantine_minority(
+        honest in 2usize..7,
+        byzantine in 0usize..3,
+        value in 0usize..5,
+        strategy_idx in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(byzantine < honest);
+        let strategy = [
+            ByzantineStrategy::Random,
+            ByzantineStrategy::Fixed(0),
+            ByzantineStrategy::Equivocate,
+            ByzantineStrategy::Silent,
+        ][strategy_idx];
+        let mut behaviors = vec![NodeBehavior::Honest { proposal: value }; honest];
+        behaviors.extend(vec![NodeBehavior::Byzantine(strategy); byzantine]);
+        let outcome = simulate_vote(
+            &behaviors,
+            &SimConfig { num_choices: 5, seed },
+        ).unwrap();
+        prop_assert_eq!(outcome.agreed_value(), Some(value));
+    }
+
+    /// The pure decision rule is *valid*: it only ever returns a value that
+    /// was actually voted for.
+    #[test]
+    fn decide_validity(votes in prop::collection::vec(0usize..7, 1..25)) {
+        let decided = vote::decide(&votes, 7).unwrap();
+        prop_assert!(votes.contains(&decided));
+    }
+
+    /// Absolute majority, when it exists, is unique and decided.
+    #[test]
+    fn absolute_majority_uniqueness(votes in prop::collection::vec(0usize..4, 1..30)) {
+        if let Some(winner) = vote::absolute_majority(&votes, 4).unwrap() {
+            let count = votes.iter().filter(|&&v| v == winner).count();
+            prop_assert!(count * 2 > votes.len());
+            prop_assert_eq!(vote::decide(&votes, 4).unwrap(), winner);
+        }
+    }
+
+    /// Gossip vote: a 3:1 supermajority converges to the majority value
+    /// within the interaction budget for populations up to 30 nodes.
+    #[test]
+    fn gossip_supermajority_converges(
+        minority in 1usize..6,
+        value in 0usize..4,
+        other in 0usize..4,
+        seed in 0u64..200,
+    ) {
+        prop_assume!(value != other);
+        let majority = minority * 3 + 1;
+        let mut proposals = vec![value; majority];
+        proposals.extend(vec![other; minority]);
+        let outcome = gossip_vote(&proposals, 4, 2_000_000, seed).unwrap();
+        prop_assert!(outcome.converged);
+        prop_assert_eq!(outcome.unanimous_value(), Some(value));
+    }
+}

@@ -1,0 +1,36 @@
+use dinar_data::catalog::{self, Profile};
+use dinar_data::split::attack_split;
+use dinar_nn::loss::CrossEntropyLoss;
+use dinar_nn::models;
+use dinar_nn::optim::{Adagrad, Optimizer};
+use dinar_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::seed_from(3);
+    let entry = catalog::gtsrb(Profile::Mini);
+    let ds = entry.generate(&mut rng).unwrap();
+    let split = attack_split(&ds, &mut rng).unwrap();
+    let members = split.train.subset(&(0..128).collect::<Vec<_>>()).unwrap();
+    for lr in [0.05f32, 0.15] {
+        let mut rng2 = Rng::seed_from(4);
+        let mut model = models::vgg11_mini(3, 43, &mut rng2).unwrap();
+        let mut opt = Adagrad::new(lr);
+        for e in 0..100 {
+            for idx in members.batch_indices(64, &mut rng2) {
+                let b = members.batch(&idx).unwrap();
+                let logits = model.forward(&b.features, true).unwrap();
+                let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &b.labels).unwrap();
+                model.zero_grad();
+                model.backward(&grad).unwrap();
+                opt.step(&mut model).unwrap();
+            }
+            if e % 25 == 24 {
+                let mb = members.full_batch().unwrap();
+                let tb = split.test.full_batch().unwrap();
+                println!("lr {lr} epoch {e}: train {:.2} test {:.2}",
+                    model.accuracy(&mb.features, &mb.labels).unwrap(),
+                    model.accuracy(&tb.features, &tb.labels).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+use dinar::sensitivity::{layer_divergences, SensitivityConfig};
+use dinar_data::catalog::{self, Profile};
+use dinar_data::split::attack_split;
+use dinar_nn::loss::CrossEntropyLoss;
+use dinar_nn::models;
+use dinar_nn::optim::{Adagrad, Optimizer};
+use dinar_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::seed_from(3);
+    let entry = catalog::purchase100(Profile::Mini);
+    let ds = entry.generate(&mut rng).unwrap();
+    let split = attack_split(&ds, &mut rng).unwrap();
+    let members = split.train.subset(&(0..300).collect::<Vec<_>>()).unwrap();
+    let mut model = models::fcnn6(600, 100, 64, &mut rng).unwrap();
+    let mut opt = Adagrad::new(0.05);
+    for _ in 0..40 {
+        for idx in members.batch_indices(64, &mut rng) {
+            let b = members.batch(&idx).unwrap();
+            let logits = model.forward(&b.features, true).unwrap();
+            let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &b.labels).unwrap();
+            model.zero_grad();
+            model.backward(&grad).unwrap();
+            opt.step(&mut model).unwrap();
+        }
+    }
+    for pb in [1usize, 4] {
+        let cfg = SensitivityConfig { probe_batch: pb, max_batches: 32, bins: 30 };
+        let d = layer_divergences(&mut model, &members, &split.test, &cfg, &mut rng).unwrap();
+        println!("probe_batch={pb}: {:?}", d.iter().map(|x| (x*1000.0).round()/1000.0).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,46 @@
+use dinar_data::catalog::{self, Profile};
+use dinar_data::split::attack_split;
+use dinar_metrics::histogram::js_divergence_samples;
+use dinar_nn::loss::CrossEntropyLoss;
+use dinar_nn::models;
+use dinar_nn::optim::{Adagrad, Optimizer};
+use dinar_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::seed_from(3);
+    let entry = catalog::purchase100(Profile::Mini);
+    let ds = entry.generate(&mut rng).unwrap();
+    let split = attack_split(&ds, &mut rng).unwrap();
+    let members = split.train.subset(&(0..300).collect::<Vec<_>>()).unwrap();
+    let mut model = models::fcnn6(600, 100, 64, &mut rng).unwrap();
+    let mut opt = Adagrad::new(0.05);
+    for _ in 0..40 {
+        for idx in members.batch_indices(64, &mut rng) {
+            let b = members.batch(&idx).unwrap();
+            let logits = model.forward(&b.features, true).unwrap();
+            let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &b.labels).unwrap();
+            model.zero_grad();
+            model.backward(&grad).unwrap();
+            opt.step(&mut model).unwrap();
+        }
+    }
+    // Collect per-layer activation-gradient populations (log-magnitude).
+    let mut pops: Vec<Vec<Vec<f32>>> = vec![Vec::new(); 2]; // [member, nonmember][layer]
+    for (pi, data) in [&members, &split.test].iter().enumerate() {
+        let mut layer_pops: Vec<Vec<f32>> = vec![Vec::new(); 6];
+        for chunk in 0..12 {
+            let idx: Vec<usize> = (chunk*8..(chunk+1)*8).collect();
+            let b = data.batch(&idx).unwrap();
+            let logits = model.forward(&b.features, true).unwrap();
+            let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &b.labels).unwrap();
+            model.zero_grad();
+            let taps = model.backward_with_taps(&grad).unwrap();
+            for (l, t) in taps.iter().enumerate() {
+                layer_pops[l].extend(t.as_slice().iter().map(|&g| (g.abs()+1e-12).log10()));
+            }
+        }
+        pops[pi] = layer_pops;
+    }
+    let d: Vec<f64> = (0..6).map(|l| js_divergence_samples(&pops[0][l], &pops[1][l], 30)).collect();
+    println!("activation-grad divergences: {:?}", d.iter().map(|x| (x*1000.0).round()/1000.0).collect::<Vec<_>>());
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of DINAR's obfuscation/personalization invariants.
+
+use dinar::middleware::DinarMiddleware;
+use dinar::obfuscation::{obfuscate_layer, ObfuscationStrategy};
+use dinar::DinarConfig;
+use dinar_fl::ClientMiddleware;
+use dinar_nn::{LayerParams, ModelParams};
+use dinar_tensor::Rng;
+use proptest::prelude::*;
+
+fn arbitrary_params(layers: usize, seed: u64) -> ModelParams {
+    let mut rng = Rng::seed_from(seed);
+    ModelParams::new(
+        (0..layers)
+            .map(|i| {
+                LayerParams::new(vec![
+                    rng.randn(&[4 + i, 3]),
+                    rng.randn(&[3]),
+                ])
+            })
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Obfuscation returns the exact original layer and never touches the
+    /// other layers, for every strategy and layer index.
+    #[test]
+    fn obfuscation_isolates_the_target_layer(
+        layers in 1usize..6,
+        target in 0usize..6,
+        strategy_idx in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(target < layers);
+        let strategy = [
+            ObfuscationStrategy::Random,
+            ObfuscationStrategy::Zeros,
+            ObfuscationStrategy::Gaussian,
+        ][strategy_idx];
+        let original = arbitrary_params(layers, seed);
+        let mut mutated = original.clone();
+        let mut rng = Rng::seed_from(seed ^ 0xF00);
+        let returned = obfuscate_layer(&mut mutated, target, strategy, &mut rng).unwrap();
+        prop_assert_eq!(&returned, &original.layers[target]);
+        for i in 0..layers {
+            if i == target {
+                // The obfuscated layer keeps its shapes but not its values
+                // (zeros may coincide if the original was all zeros — our
+                // random params never are).
+                prop_assert!(returned.same_shape(&mutated.layers[i]));
+                prop_assert_ne!(&mutated.layers[i], &original.layers[i]);
+            } else {
+                prop_assert_eq!(&mutated.layers[i], &original.layers[i]);
+            }
+        }
+    }
+
+    /// Upload-then-download through the DINAR middleware restores the
+    /// client's private layer exactly, regardless of what the server sends
+    /// back — the Alg. 1 personalization invariant.
+    #[test]
+    fn personalization_roundtrip_invariant(
+        layers in 2usize..6,
+        target in 0usize..6,
+        seed in 0u64..1000,
+        rounds in 1usize..4,
+    ) {
+        prop_assume!(target < layers);
+        let mut mw = DinarMiddleware::new(target, DinarConfig::default(), seed);
+        for round in 0..rounds {
+            // Locally trained parameters this round.
+            let trained = arbitrary_params(layers, seed ^ (round as u64 + 1));
+            let mut upload = trained.clone();
+            mw.transform_upload(0, &mut upload).unwrap();
+            // Private layer never leaves the client.
+            prop_assert_ne!(&upload.layers[target], &trained.layers[target]);
+            let last_private = trained.layers[target].clone();
+
+            // Arbitrary global model comes back.
+            let mut download = arbitrary_params(layers, seed ^ 0xABCD ^ round as u64);
+            mw.transform_download(0, &mut download).unwrap();
+            // Personalization restored exactly what the client trained.
+            prop_assert_eq!(&download.layers[target], &last_private);
+        }
+    }
+
+    /// The obfuscated layer never correlates with the original: the random
+    /// strategy's output is independent of the private values.
+    #[test]
+    fn random_obfuscation_is_value_independent(seed in 0u64..1000) {
+        // Two different private layers, same obfuscation stream → same
+        // obfuscated output (values depend only on the stream, not on the
+        // secret).
+        let mut a = arbitrary_params(3, seed);
+        let mut b = arbitrary_params(3, seed ^ 0x5555);
+        // Make shapes identical (arbitrary_params shapes depend only on the
+        // layer index, so they already are).
+        let mut rng_a = Rng::seed_from(42);
+        let mut rng_b = Rng::seed_from(42);
+        obfuscate_layer(&mut a, 1, ObfuscationStrategy::Random, &mut rng_a).unwrap();
+        obfuscate_layer(&mut b, 1, ObfuscationStrategy::Random, &mut rng_b).unwrap();
+        prop_assert_eq!(&a.layers[1], &b.layers[1]);
+    }
+
+    /// Zeroed-layer uploads leak only shape: every tensor of the obfuscated
+    /// layer is identically zero.
+    #[test]
+    fn zeros_strategy_leaks_nothing_but_shape(layers in 1usize..5, seed in 0u64..1000) {
+        let mut params = arbitrary_params(layers, seed);
+        let target = (seed as usize) % layers;
+        let mut rng = Rng::seed_from(0);
+        obfuscate_layer(&mut params, target, ObfuscationStrategy::Zeros, &mut rng).unwrap();
+        for t in &params.layers[target].tensors {
+            prop_assert!(t.as_slice().iter().all(|&x| x == 0.0));
+        }
+    }
+}
+
+/// Deterministic sanity outside proptest: a `Tensor` of arbitrary values is
+/// never equal after Random obfuscation (collision probability ~0).
+#[test]
+fn random_obfuscation_changes_values() {
+    let mut params = arbitrary_params(2, 7);
+    let before = params.clone();
+    let mut rng = Rng::seed_from(1);
+    obfuscate_layer(&mut params, 0, ObfuscationStrategy::Random, &mut rng).unwrap();
+    assert_ne!(params.layers[0], before.layers[0]);
+}

@@ -1,0 +1,309 @@
+//! The paper's dataset catalog (Table 2), as synthetic stand-ins.
+//!
+//! Each entry records the paper's dimensions (records / features / classes /
+//! model) and resolves to a [`SynthSpec`] in one of two profiles:
+//!
+//! * [`Profile::Full`] — the paper's sample and feature counts, for users
+//!   with time to burn or a larger machine;
+//! * [`Profile::Mini`] — reduced sample counts (and, for Texas100, feature
+//!   count) that train in seconds on one CPU core while keeping class
+//!   structure and the member/non-member generalization gap. All experiment
+//!   binaries use this profile.
+
+use crate::synth::{Modality, SynthSpec};
+use crate::{Dataset, Result};
+use dinar_tensor::Rng;
+use serde::Serialize;
+
+/// Scale profile for a catalog dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Profile {
+    /// CPU-scale profile used by the experiment binaries.
+    Mini,
+    /// The paper's dimensions.
+    Full,
+}
+
+/// The paper-reported dimensions of a dataset (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PaperDims {
+    /// Number of records.
+    pub records: usize,
+    /// Number of features.
+    pub features: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Model family the paper trains on this dataset.
+    pub model: &'static str,
+}
+
+/// A catalog dataset: paper metadata plus a resolved synthetic spec.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CatalogEntry {
+    /// Resolved synthetic generator specification.
+    pub spec: SynthSpec,
+    /// The paper's dimensions for this dataset.
+    pub paper: PaperDims,
+}
+
+impl CatalogEntry {
+    /// Generates the dataset with the given RNG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (the built-in entries never fail).
+    pub fn generate(&self, rng: &mut Rng) -> Result<Dataset> {
+        self.spec.generate(rng)
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+}
+
+/// CIFAR-10: 10-class colour images, ResNet20 (paper: 50,000 × 3,072).
+pub fn cifar10(profile: Profile) -> CatalogEntry {
+    let (samples, hw, noise) = match profile {
+        Profile::Mini => (1600, 8, 1.3),
+        Profile::Full => (50_000, 32, 1.3),
+    };
+    CatalogEntry {
+        spec: SynthSpec {
+            name: "cifar10".into(),
+            num_classes: 10,
+            num_samples: samples,
+            modality: Modality::Image {
+                channels: 3,
+                height: hw,
+                width: hw,
+            },
+            noise,
+        },
+        paper: PaperDims {
+            records: 50_000,
+            features: 3_072,
+            classes: 10,
+            model: "ResNet20",
+        },
+    }
+}
+
+/// CIFAR-100: 100-class colour images, ResNet20 (paper: 50,000 × 3,072).
+pub fn cifar100(profile: Profile) -> CatalogEntry {
+    let (samples, hw, noise) = match profile {
+        Profile::Mini => (2_000, 8, 1.0),
+        Profile::Full => (50_000, 32, 1.0),
+    };
+    CatalogEntry {
+        spec: SynthSpec {
+            name: "cifar100".into(),
+            num_classes: 100,
+            num_samples: samples,
+            modality: Modality::Image {
+                channels: 3,
+                height: hw,
+                width: hw,
+            },
+            noise,
+        },
+        paper: PaperDims {
+            records: 50_000,
+            features: 3_072,
+            classes: 100,
+            model: "ResNet20",
+        },
+    }
+}
+
+/// GTSRB: 43-class traffic-sign images, VGG11 (paper: 51,389 × 6,912).
+pub fn gtsrb(profile: Profile) -> CatalogEntry {
+    let (samples, hw, noise) = match profile {
+        Profile::Mini => (1_600, 16, 0.4),
+        Profile::Full => (51_389, 48, 0.4),
+    };
+    CatalogEntry {
+        spec: SynthSpec {
+            name: "gtsrb".into(),
+            num_classes: 43,
+            num_samples: samples,
+            modality: Modality::Image {
+                channels: 3,
+                height: hw,
+                width: hw,
+            },
+            noise,
+        },
+        paper: PaperDims {
+            records: 51_389,
+            features: 6_912,
+            classes: 43,
+            model: "VGG11",
+        },
+    }
+}
+
+/// CelebA: 32 attribute-combination classes of face crops, VGG11
+/// (paper: 202,599 records, 40,000-image 64×64 subset).
+pub fn celeba(profile: Profile) -> CatalogEntry {
+    let (samples, hw, noise) = match profile {
+        Profile::Mini => (1_600, 16, 0.5),
+        Profile::Full => (40_000, 64, 0.5),
+    };
+    CatalogEntry {
+        spec: SynthSpec {
+            name: "celeba".into(),
+            num_classes: 32,
+            num_samples: samples,
+            modality: Modality::Image {
+                channels: 1,
+                height: hw,
+                width: hw,
+            },
+            noise,
+        },
+        paper: PaperDims {
+            records: 202_599,
+            features: 4_096,
+            classes: 32,
+            model: "VGG11",
+        },
+    }
+}
+
+/// Speech Commands: 35-word audio classification, M18
+/// (paper: 64,727 one-second utterances).
+pub fn speech_commands(profile: Profile) -> CatalogEntry {
+    let (samples, len, noise) = match profile {
+        Profile::Mini => (1_400, 256, 0.8),
+        Profile::Full => (64_727, 16_000, 0.8),
+    };
+    CatalogEntry {
+        spec: SynthSpec {
+            name: "speech_commands".into(),
+            num_classes: 35,
+            num_samples: samples,
+            modality: Modality::Audio { len },
+            noise,
+        },
+        paper: PaperDims {
+            records: 64_727,
+            features: 16_000,
+            classes: 36,
+            model: "M18",
+        },
+    }
+}
+
+/// Purchase100: 600 binary purchase features, 100 shopper classes,
+/// 6-layer FCNN (paper: 97,324 records).
+pub fn purchase100(profile: Profile) -> CatalogEntry {
+    let samples = match profile {
+        Profile::Mini => 2_400,
+        Profile::Full => 97_324,
+    };
+    CatalogEntry {
+        spec: SynthSpec {
+            name: "purchase100".into(),
+            num_classes: 100,
+            num_samples: samples,
+            modality: Modality::BinaryTabular { features: 600 },
+            noise: 0.02,
+        },
+        paper: PaperDims {
+            records: 97_324,
+            features: 600,
+            classes: 100,
+            model: "6-layer FCNN",
+        },
+    }
+}
+
+/// Texas100: binary hospital-discharge features, 100 procedure classes,
+/// 6-layer FCNN (paper: 67,330 × 6,170).
+pub fn texas100(profile: Profile) -> CatalogEntry {
+    let (samples, features) = match profile {
+        Profile::Mini => (1_800, 500),
+        Profile::Full => (67_330, 6_170),
+    };
+    CatalogEntry {
+        spec: SynthSpec {
+            name: "texas100".into(),
+            num_classes: 100,
+            num_samples: samples,
+            modality: Modality::BinaryTabular { features },
+            noise: 0.02,
+        },
+        paper: PaperDims {
+            records: 67_330,
+            features: 6_170,
+            classes: 100,
+            model: "6-layer FCNN",
+        },
+    }
+}
+
+/// All seven catalog datasets in the paper's Table 2 order.
+pub fn all(profile: Profile) -> Vec<CatalogEntry> {
+    vec![
+        cifar10(profile),
+        cifar100(profile),
+        gtsrb(profile),
+        celeba(profile),
+        speech_commands(profile),
+        purchase100(profile),
+        texas100(profile),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_seven_entries_with_unique_names() {
+        let entries = all(Profile::Mini);
+        assert_eq!(entries.len(), 7);
+        let mut names: Vec<&str> = entries.iter().map(CatalogEntry::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn mini_profiles_generate_quickly_and_validly() {
+        let mut rng = Rng::seed_from(0);
+        for entry in all(Profile::Mini) {
+            let ds = entry.generate(&mut rng).unwrap();
+            assert_eq!(ds.num_classes(), entry.spec.num_classes, "{}", entry.name());
+            assert_eq!(ds.len(), entry.spec.num_samples);
+        }
+    }
+
+    #[test]
+    fn full_profiles_match_paper_dims() {
+        assert_eq!(cifar10(Profile::Full).spec.num_samples, 50_000);
+        assert_eq!(
+            gtsrb(Profile::Full).spec.modality.feature_len(),
+            3 * 48 * 48 // 6,912 — matches Table 2's GTSRB feature count
+        );
+        assert_eq!(purchase100(Profile::Full).spec.modality.feature_len(), 600);
+        assert_eq!(texas100(Profile::Full).spec.modality.feature_len(), 6_170);
+        assert_eq!(
+            speech_commands(Profile::Full).spec.modality.feature_len(),
+            16_000
+        );
+    }
+
+    #[test]
+    fn class_counts_are_faithful_in_both_profiles() {
+        for profile in [Profile::Mini, Profile::Full] {
+            assert_eq!(cifar10(profile).spec.num_classes, 10);
+            assert_eq!(cifar100(profile).spec.num_classes, 100);
+            assert_eq!(gtsrb(profile).spec.num_classes, 43);
+            assert_eq!(celeba(profile).spec.num_classes, 32);
+            assert_eq!(purchase100(profile).spec.num_classes, 100);
+            assert_eq!(texas100(profile).spec.num_classes, 100);
+        }
+    }
+}

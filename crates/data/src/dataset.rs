@@ -1,0 +1,297 @@
+//! In-memory labelled dataset.
+
+use crate::{DataError, Result};
+use dinar_tensor::{Rng, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A labelled classification dataset held in memory.
+///
+/// Features are stored as a flat `[n, features]` matrix together with the
+/// logical per-sample shape (e.g. `[3, 16, 16]` for images); [`Dataset::batch`]
+/// reshapes gathered rows to `[batch, ...sample_shape]` so convolutional
+/// models receive their expected layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Tensor,
+    labels: Vec<usize>,
+    sample_shape: Vec<usize>,
+    num_classes: usize,
+}
+
+/// A materialized mini-batch.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Batch features, shaped `[batch, ...sample_shape]`.
+    pub features: Tensor,
+    /// Batch labels.
+    pub labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset from a flat feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::LengthMismatch`] if rows and labels disagree,
+    /// [`DataError::LabelOutOfRange`] for an invalid label and
+    /// [`DataError::InvalidSpec`] if `sample_shape` does not match the
+    /// feature width.
+    pub fn new(
+        features: Tensor,
+        labels: Vec<usize>,
+        sample_shape: &[usize],
+        num_classes: usize,
+    ) -> Result<Self> {
+        let rows = features.nrows()?;
+        let cols = features.ncols()?;
+        if rows != labels.len() {
+            return Err(DataError::LengthMismatch {
+                features: rows,
+                labels: labels.len(),
+            });
+        }
+        if sample_shape.iter().product::<usize>() != cols {
+            return Err(DataError::InvalidSpec {
+                reason: format!(
+                    "sample shape {sample_shape:?} does not match feature width {cols}"
+                ),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(DataError::LabelOutOfRange {
+                label: bad,
+                classes: num_classes,
+            });
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            sample_shape: sample_shape.to_vec(),
+            num_classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Logical shape of one sample (e.g. `[3, 16, 16]`).
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.sample_shape
+    }
+
+    /// Number of scalar features per sample.
+    pub fn feature_len(&self) -> usize {
+        self.sample_shape.iter().product()
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// The flat `[n, features]` feature matrix.
+    pub fn features(&self) -> &Tensor {
+        &self.features
+    }
+
+    /// Gathers the given sample indices into a batch shaped
+    /// `[batch, ...sample_shape]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfBounds`] for invalid indices.
+    pub fn batch(&self, indices: &[usize]) -> Result<Batch> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.len()) {
+            return Err(DataError::IndexOutOfBounds {
+                index: bad,
+                len: self.len(),
+            });
+        }
+        let flat = self.features.gather_rows(indices)?;
+        let mut shape = vec![indices.len()];
+        shape.extend_from_slice(&self.sample_shape);
+        Ok(Batch {
+            features: flat.reshape(&shape)?,
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        })
+    }
+
+    /// The whole dataset as one batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor errors (practically infallible).
+    pub fn full_batch(&self) -> Result<Batch> {
+        let indices: Vec<usize> = (0..self.len()).collect();
+        self.batch(&indices)
+    }
+
+    /// A new dataset containing only the given sample indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::IndexOutOfBounds`] for invalid indices.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.len()) {
+            return Err(DataError::IndexOutOfBounds {
+                index: bad,
+                len: self.len(),
+            });
+        }
+        Ok(Dataset {
+            features: self.features.gather_rows(indices)?,
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            sample_shape: self.sample_shape.clone(),
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// Splits into `(first, second)` where `first` holds `fraction` of the
+    /// samples, after a deterministic shuffle with `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSplit`] if `fraction` is outside `[0, 1]`.
+    pub fn split_fraction(&self, fraction: f64, rng: &mut Rng) -> Result<(Dataset, Dataset)> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(DataError::InvalidSplit {
+                reason: format!("fraction {fraction} outside [0, 1]"),
+            });
+        }
+        let perm = rng.permutation(self.len());
+        let cut = (self.len() as f64 * fraction).round() as usize;
+        let first = self.subset(&perm[..cut])?;
+        let second = self.subset(&perm[cut..])?;
+        Ok((first, second))
+    }
+
+    /// Iterator over shuffled mini-batch index lists of size `batch_size`
+    /// (last batch may be smaller).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn batch_indices(&self, batch_size: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let perm = rng.permutation(self.len());
+        perm.chunks(batch_size).map(<[usize]>::to_vec).collect()
+    }
+
+    /// Per-class sample counts (length `num_classes`).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let features = Tensor::from_fn(&[6, 4], |i| i as f32);
+        Dataset::new(features, vec![0, 1, 2, 0, 1, 2], &[4], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let f = Tensor::zeros(&[3, 4]);
+        assert!(matches!(
+            Dataset::new(f.clone(), vec![0, 1], &[4], 2),
+            Err(DataError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(f.clone(), vec![0, 1, 5], &[4], 2),
+            Err(DataError::LabelOutOfRange { label: 5, .. })
+        ));
+        assert!(matches!(
+            Dataset::new(f, vec![0, 1, 1], &[5], 2),
+            Err(DataError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_reshapes_to_sample_shape() {
+        let features = Tensor::from_fn(&[4, 12], |i| i as f32);
+        let ds = Dataset::new(features, vec![0, 1, 0, 1], &[3, 2, 2], 2).unwrap();
+        let b = ds.batch(&[1, 3]).unwrap();
+        assert_eq!(b.features.shape(), &[2, 3, 2, 2]);
+        assert_eq!(b.labels, vec![1, 1]);
+        assert_eq!(b.features.get(&[0, 0, 0, 0]).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn batch_rejects_bad_index() {
+        assert!(matches!(
+            toy().batch(&[6]),
+            Err(DataError::IndexOutOfBounds { index: 6, len: 6 })
+        ));
+    }
+
+    #[test]
+    fn subset_keeps_metadata() {
+        let ds = toy();
+        let s = ds.subset(&[0, 3]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[0, 0]);
+        assert_eq!(s.num_classes(), 3);
+        assert_eq!(s.sample_shape(), &[4]);
+    }
+
+    #[test]
+    fn split_fraction_is_exhaustive_and_disjoint() {
+        let ds = toy();
+        let mut rng = Rng::seed_from(0);
+        let (a, b) = ds.split_fraction(0.5, &mut rng).unwrap();
+        assert_eq!(a.len() + b.len(), ds.len());
+        assert_eq!(a.len(), 3);
+        // Together they contain every original row exactly once.
+        let mut all: Vec<f32> = Vec::new();
+        for d in [&a, &b] {
+            for i in 0..d.len() {
+                all.push(d.features().get(&[i, 0]).unwrap());
+            }
+        }
+        all.sort_by(f32::total_cmp);
+        assert_eq!(all, vec![0.0, 4.0, 8.0, 12.0, 16.0, 20.0]);
+    }
+
+    #[test]
+    fn split_fraction_validates() {
+        let mut rng = Rng::seed_from(0);
+        assert!(toy().split_fraction(1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn batch_indices_cover_everything_once() {
+        let ds = toy();
+        let mut rng = Rng::seed_from(1);
+        let batches = ds.batch_indices(4, &mut rng);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[1].len(), 2);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        assert_eq!(toy().class_histogram(), vec![2, 2, 2]);
+    }
+}

@@ -1,0 +1,88 @@
+use dinar_tensor::TensorError;
+use std::fmt;
+
+/// Error type for dataset construction, splitting and batching.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Feature matrix and label vector lengths disagree.
+    LengthMismatch {
+        /// Number of feature rows.
+        features: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label exceeded the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// Declared number of classes.
+        classes: usize,
+    },
+    /// A sample index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Dataset size.
+        len: usize,
+    },
+    /// A split or partition request was invalid (e.g. zero clients, fraction
+    /// outside `[0, 1]`).
+    InvalidSplit {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A generator was configured inconsistently.
+    InvalidSpec {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::LengthMismatch { features, labels } => {
+                write!(f, "{features} feature rows but {labels} labels")
+            }
+            DataError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            DataError::IndexOutOfBounds { index, len } => {
+                write!(f, "sample index {index} out of bounds for dataset of {len}")
+            }
+            DataError::InvalidSplit { reason } => write!(f, "invalid split: {reason}"),
+            DataError::InvalidSpec { reason } => write!(f, "invalid dataset spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: DataError = TensorError::Empty { op: "x" }.into();
+        assert!(e.to_string().contains("tensor error"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,96 @@
+//! The paper's attacker/train/test data protocol (§5.1).
+//!
+//! "For each dataset, half of the data is used as the attacker's prior
+//! knowledge to conduct MIAs, and the other half is partitioned into training
+//! (80%) and test (20%) sets."
+
+use crate::{DataError, Dataset, Result};
+use dinar_tensor::Rng;
+
+/// The three-way split used by every experiment.
+#[derive(Debug, Clone)]
+pub struct AttackSplit {
+    /// The attacker's prior knowledge (half the data) — shadow models train
+    /// on this.
+    pub attacker: Dataset,
+    /// The FL participants' training pool (80% of the remaining half). These
+    /// are the **members**.
+    pub train: Dataset,
+    /// Held-out test data (20% of the remaining half). These are the
+    /// **non-members** and also measure model utility.
+    pub test: Dataset,
+}
+
+/// Performs the paper's split: 50% attacker knowledge, then 80/20 train/test
+/// on the remainder.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSplit`] if the dataset is too small to yield
+/// non-empty parts.
+pub fn attack_split(dataset: &Dataset, rng: &mut Rng) -> Result<AttackSplit> {
+    if dataset.len() < 10 {
+        return Err(DataError::InvalidSplit {
+            reason: format!(
+                "dataset of {} samples is too small for the 50/40/10 protocol",
+                dataset.len()
+            ),
+        });
+    }
+    let (attacker, rest) = dataset.split_fraction(0.5, rng)?;
+    let (train, test) = rest.split_fraction(0.8, rng)?;
+    Ok(AttackSplit {
+        attacker,
+        train,
+        test,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_tensor::Tensor;
+
+    fn toy(n: usize) -> Dataset {
+        let features = Tensor::from_fn(&[n, 2], |i| i as f32);
+        let labels = (0..n).map(|i| i % 2).collect();
+        Dataset::new(features, labels, &[2], 2).unwrap()
+    }
+
+    #[test]
+    fn proportions_match_the_paper() {
+        let ds = toy(1000);
+        let mut rng = Rng::seed_from(0);
+        let split = attack_split(&ds, &mut rng).unwrap();
+        assert_eq!(split.attacker.len(), 500);
+        assert_eq!(split.train.len(), 400);
+        assert_eq!(split.test.len(), 100);
+    }
+
+    #[test]
+    fn parts_are_disjoint_and_exhaustive() {
+        let ds = toy(100);
+        let mut rng = Rng::seed_from(1);
+        let split = attack_split(&ds, &mut rng).unwrap();
+        let mut ids: Vec<i64> = Vec::new();
+        for part in [&split.attacker, &split.train, &split.test] {
+            for i in 0..part.len() {
+                // Feature column 0 holds the original row index * 2.
+                ids.push(part.features().get(&[i, 0]).unwrap() as i64);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        let ds = toy(8);
+        let mut rng = Rng::seed_from(2);
+        assert!(matches!(
+            attack_split(&ds, &mut rng),
+            Err(DataError::InvalidSplit { .. })
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Central differential privacy (CDP): the server noises the aggregate.
+//!
+//! "CDP \[is\] where the server applies DP on aggregated model parameters
+//! before sending the resulting model to the clients" (§2.3, following
+//! Naseri et al.). The mechanism is applied to the **aggregate's update**
+//! relative to the previous global model, with the noise scale divided by
+//! the number of participating clients (the server's aggregate has
+//! sensitivity `clip / N` with respect to one client). Protects the global
+//! model; individual client uploads remain visible to the server — which is
+//! why CDP protects local models poorly in the paper's Fig. 6.
+
+use crate::dp::{add_gaussian_noise, clip_l2, DpParams};
+use dinar_fl::{Result, ServerMiddleware};
+use dinar_nn::ModelParams;
+use dinar_tensor::Rng;
+
+/// CDP server middleware: the Gaussian mechanism on the FedAvg aggregate's
+/// round update.
+#[derive(Debug)]
+pub struct CentralDp {
+    dp: DpParams,
+    clients: usize,
+    rng: Rng,
+    previous_global: Option<ModelParams>,
+}
+
+impl CentralDp {
+    /// Creates the middleware with a budget, the number of participating
+    /// clients (noise divisor), and a server RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn new(dp: DpParams, clients: usize, rng: Rng) -> Self {
+        assert!(clients > 0, "CDP needs at least one client");
+        CentralDp {
+            dp,
+            clients,
+            rng,
+            previous_global: None,
+        }
+    }
+
+    /// The configured budget.
+    pub fn dp_params(&self) -> DpParams {
+        self.dp
+    }
+}
+
+impl ServerMiddleware for CentralDp {
+    fn transform_aggregate(&mut self, params: &mut ModelParams) -> Result<()> {
+        if let Some(prev) = &self.previous_global {
+            let mut update = params.sub(prev)?;
+            clip_l2(&mut update, self.dp.clip_norm);
+            let d = update.param_count().max(1) as f32;
+            let std_dev = self.dp.noise_multiplier() * self.dp.clip_norm
+                / (self.clients as f32 * d.sqrt());
+            add_gaussian_noise(&mut update, std_dev, &mut self.rng);
+            let mut new_global = prev.clone();
+            new_global.add_assign(&update)?;
+            *params = new_global;
+        }
+        // First round has no reference; release the aggregate as-is (it is
+        // one step from the public initialization).
+        self.previous_global = Some(params.clone());
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "cdp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_nn::LayerParams;
+    use dinar_tensor::Tensor;
+
+    fn params(value: f32) -> ModelParams {
+        ModelParams::new(vec![LayerParams::new(vec![Tensor::full(&[400], value)])])
+    }
+
+    #[test]
+    fn second_round_update_is_clipped_and_noised() {
+        let mut mw = CentralDp::new(DpParams::paper_default(), 5, Rng::seed_from(0));
+        let mut first = params(1.0);
+        mw.transform_aggregate(&mut first).unwrap();
+        assert_eq!(first, params(1.0)); // first round passes through
+
+        let mut second = params(2.0); // update norm 20 -> clipped to 5
+        mw.transform_aggregate(&mut second).unwrap();
+        let update_norm = second.sub(&params(1.0)).unwrap().l2_norm();
+        assert!((update_norm - 5.0).abs() < 1.0, "norm {update_norm}");
+        assert!(second.max_abs_diff(&params(2.0)).unwrap() > 0.1);
+    }
+
+    #[test]
+    fn more_clients_means_less_noise() {
+        let noise_norm = |clients: usize| {
+            let mut mw =
+                CentralDp::new(DpParams::paper_default(), clients, Rng::seed_from(1));
+            let mut first = params(1.0);
+            mw.transform_aggregate(&mut first).unwrap();
+            let mut second = params(1.0); // zero true update -> pure noise
+            mw.transform_aggregate(&mut second).unwrap();
+            second.sub(&params(1.0)).unwrap().l2_norm()
+        };
+        assert!(noise_norm(2) > noise_norm(20) * 5.0);
+    }
+
+    #[test]
+    fn deterministic_per_stream() {
+        let run = |seed: u64| {
+            let mut mw = CentralDp::new(DpParams::paper_default(), 5, Rng::seed_from(seed));
+            let mut a = params(1.0);
+            mw.transform_aggregate(&mut a).unwrap();
+            let mut b = params(1.2);
+            mw.transform_aggregate(&mut b).unwrap();
+            b
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        CentralDp::new(DpParams::paper_default(), 0, Rng::seed_from(0));
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared differential-privacy machinery: the Gaussian mechanism with
+//! L2 clipping.
+
+use dinar_nn::ModelParams;
+use dinar_tensor::Rng;
+use serde::Serialize;
+
+/// An (ε, δ) budget with an L2 clipping bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct DpParams {
+    /// Privacy budget ε (the paper's default is 2.2).
+    pub epsilon: f32,
+    /// Failure probability δ (the paper's default is 10⁻⁵).
+    pub delta: f32,
+    /// L2 clipping bound applied before noising.
+    pub clip_norm: f32,
+}
+
+impl DpParams {
+    /// The paper's default budget: ε = 2.2, δ = 10⁻⁵ (§5.2, following \[33\]).
+    pub fn paper_default() -> Self {
+        DpParams {
+            epsilon: 2.2,
+            delta: 1e-5,
+            clip_norm: 5.0,
+        }
+    }
+
+    /// Returns this budget with a different ε (for the Fig. 10 sweep).
+    pub fn with_epsilon(mut self, epsilon: f32) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Analytic Gaussian-mechanism noise multiplier:
+    /// `σ = √(2 ln(1.25/δ)) / ε`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ε ≤ 0 or δ ∉ (0, 1).
+    pub fn noise_multiplier(&self) -> f32 {
+        assert!(self.epsilon > 0.0, "epsilon must be positive");
+        assert!(
+            self.delta > 0.0 && self.delta < 1.0,
+            "delta must be in (0, 1)"
+        );
+        (2.0 * (1.25 / self.delta).ln()).sqrt() / self.epsilon
+    }
+}
+
+/// Clips the parameter set to `clip_norm` in L2 (uniform scaling), returning
+/// the factor applied (1.0 when already within the bound).
+pub fn clip_l2(params: &mut ModelParams, clip_norm: f32) -> f32 {
+    let norm = params.l2_norm();
+    if norm > clip_norm && norm > 0.0 {
+        let factor = clip_norm / norm;
+        params.scale(factor);
+        factor
+    } else {
+        1.0
+    }
+}
+
+/// Adds i.i.d. Gaussian noise with standard deviation `std_dev` to every
+/// parameter. Allocates a noise tensor per layer tensor (this allocation is
+/// deliberately visible to the memory accounting, mirroring the noise-buffer
+/// overhead Table 3 attributes to DP methods).
+pub fn add_gaussian_noise(params: &mut ModelParams, std_dev: f32, rng: &mut Rng) {
+    if std_dev <= 0.0 {
+        return;
+    }
+    for layer in &mut params.layers {
+        for t in &mut layer.tensors {
+            let noise = rng.randn_with(t.shape(), 0.0, std_dev);
+            t.add_assign(&noise).expect("noise tensor matches shape");
+        }
+    }
+}
+
+/// The full clip-then-noise Gaussian mechanism.
+///
+/// Noise is scaled per coordinate as `σ · clip / √d` (with `d` the parameter
+/// count), so the *norm* of the added noise is `σ · clip` in expectation —
+/// proportional to the clipping bound and to the noise multiplier, as in the
+/// client-level DP literature.
+pub fn gaussian_mechanism(params: &mut ModelParams, dp: &DpParams, rng: &mut Rng) {
+    clip_l2(params, dp.clip_norm);
+    let d = params.param_count().max(1) as f32;
+    let std_dev = dp.noise_multiplier() * dp.clip_norm / d.sqrt();
+    add_gaussian_noise(params, std_dev, rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_nn::LayerParams;
+    use dinar_tensor::Tensor;
+
+    fn params(value: f32, len: usize) -> ModelParams {
+        ModelParams::new(vec![LayerParams::new(vec![Tensor::full(&[len], value)])])
+    }
+
+    #[test]
+    fn noise_multiplier_matches_formula() {
+        let dp = DpParams::paper_default();
+        let expected = (2.0f32 * (1.25f32 / 1e-5).ln()).sqrt() / 2.2;
+        assert!((dp.noise_multiplier() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let base = DpParams::paper_default();
+        assert!(
+            base.with_epsilon(0.05).noise_multiplier()
+                > base.with_epsilon(2.2).noise_multiplier() * 10.0
+        );
+    }
+
+    #[test]
+    fn clip_scales_down_only_when_needed() {
+        let mut big = params(1.0, 100); // norm 10
+        let f = clip_l2(&mut big, 5.0);
+        assert!((f - 0.5).abs() < 1e-6);
+        assert!((big.l2_norm() - 5.0).abs() < 1e-4);
+
+        let mut small = params(0.1, 100); // norm 1
+        assert_eq!(clip_l2(&mut small, 5.0), 1.0);
+        assert!((small.l2_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn noise_perturbs_with_expected_scale() {
+        let mut p = params(0.0, 10_000);
+        let mut rng = Rng::seed_from(0);
+        add_gaussian_noise(&mut p, 0.5, &mut rng);
+        let flat = p.to_flat();
+        let var = flat.iter().map(|x| x * x).sum::<f32>() / flat.len() as f32;
+        assert!((var.sqrt() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_std_is_identity() {
+        let mut p = params(1.0, 8);
+        let before = p.clone();
+        add_gaussian_noise(&mut p, 0.0, &mut Rng::seed_from(0));
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn mechanism_noise_norm_tracks_sigma_times_clip() {
+        let mut p = params(0.0, 40_000);
+        let dp = DpParams {
+            epsilon: 1.0,
+            delta: 1e-5,
+            clip_norm: 3.0,
+        };
+        let mut rng = Rng::seed_from(1);
+        gaussian_mechanism(&mut p, &dp, &mut rng);
+        // Input was zero so the output is pure noise with expected norm
+        // sigma * clip.
+        let expected = dp.noise_multiplier() * dp.clip_norm;
+        let actual = p.l2_norm();
+        assert!(
+            (actual - expected).abs() / expected < 0.05,
+            "norm {actual} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        DpParams {
+            epsilon: 0.0,
+            delta: 1e-5,
+            clip_norm: 1.0,
+        }
+        .noise_multiplier();
+    }
+}

@@ -1,0 +1,135 @@
+//! Local differential privacy (LDP): clients noise their own uploads.
+//!
+//! "LDP applies on client model parameters before transmission to the FL
+//! server" (§2.3, following Chamikara et al.). As in DP-FedAvg-style
+//! client-level DP, the Gaussian mechanism is applied to the client's
+//! **model update** — the difference between its trained parameters and the
+//! global model it received — so that the clipping bound constrains each
+//! client's *contribution*, not the absolute weight scale.
+
+use crate::dp::{gaussian_mechanism, DpParams};
+use dinar_fl::{ClientMiddleware, FlError, Result};
+use dinar_nn::ModelParams;
+use dinar_tensor::Rng;
+
+/// LDP upload middleware: clip the update to the L2 bound, add Gaussian
+/// noise calibrated to (ε, δ), upload `global + noised update`.
+#[derive(Debug)]
+pub struct LocalDp {
+    dp: DpParams,
+    rng: Rng,
+    received_global: Option<ModelParams>,
+}
+
+impl LocalDp {
+    /// Creates the middleware with a budget and a client-specific RNG stream.
+    pub fn new(dp: DpParams, rng: Rng) -> Self {
+        LocalDp {
+            dp,
+            rng,
+            received_global: None,
+        }
+    }
+
+    /// The configured budget.
+    pub fn dp_params(&self) -> DpParams {
+        self.dp
+    }
+}
+
+impl ClientMiddleware for LocalDp {
+    fn transform_download(&mut self, _client_id: usize, params: &mut ModelParams) -> Result<()> {
+        self.received_global = Some(params.clone());
+        Ok(())
+    }
+
+    fn transform_upload(&mut self, _client_id: usize, params: &mut ModelParams) -> Result<()> {
+        let global = self
+            .received_global
+            .as_ref()
+            .ok_or_else(|| FlError::Middleware {
+                name: "ldp",
+                reason: "upload before any download; no reference model".into(),
+            })?;
+        let mut update = params.sub(global)?;
+        gaussian_mechanism(&mut update, &self.dp, &mut self.rng);
+        let mut upload = global.clone();
+        upload.add_assign(&update)?;
+        *params = upload;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "ldp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_nn::LayerParams;
+    use dinar_tensor::Tensor;
+
+    fn params(value: f32) -> ModelParams {
+        ModelParams::new(vec![LayerParams::new(vec![Tensor::full(&[1000], value)])])
+    }
+
+    fn round_trip(mw: &mut LocalDp, global: f32, trained: f32) -> ModelParams {
+        let mut g = params(global);
+        mw.transform_download(0, &mut g).unwrap();
+        let mut t = params(trained);
+        mw.transform_upload(0, &mut t).unwrap();
+        t
+    }
+
+    #[test]
+    fn upload_perturbs_the_update_not_the_base() {
+        let mut mw = LocalDp::new(DpParams::paper_default(), Rng::seed_from(0));
+        let uploaded = round_trip(&mut mw, 1.0, 1.01);
+        // The upload stays anchored at the global model plus a (clipped,
+        // noised) small update — not collapsed toward zero.
+        let dev_from_global = uploaded.sub(&params(1.0)).unwrap().l2_norm();
+        let dev_from_trained = uploaded.sub(&params(1.01)).unwrap().l2_norm();
+        assert!(dev_from_global > 0.0);
+        assert!(dev_from_trained < params(1.01).l2_norm()); // nowhere near zeroing
+    }
+
+    #[test]
+    fn smaller_budget_perturbs_more() {
+        let deviation = |eps: f32| {
+            let mut mw = LocalDp::new(
+                DpParams::paper_default().with_epsilon(eps),
+                Rng::seed_from(7),
+            );
+            let uploaded = round_trip(&mut mw, 0.5, 0.5); // zero true update
+            uploaded.sub(&params(0.5)).unwrap().l2_norm()
+        };
+        assert!(deviation(0.05) > deviation(2.2) * 5.0);
+    }
+
+    #[test]
+    fn update_is_clipped() {
+        let mut mw = LocalDp::new(
+            DpParams {
+                epsilon: 1000.0, // negligible noise isolates the clipping
+                delta: 1e-5,
+                clip_norm: 2.0,
+            },
+            Rng::seed_from(1),
+        );
+        // Huge update of norm ~31.6 gets clipped to 2.
+        let uploaded = round_trip(&mut mw, 0.0, 1.0);
+        let update_norm = uploaded.l2_norm();
+        assert!((update_norm - 2.0).abs() < 0.1, "norm {update_norm}");
+    }
+
+    #[test]
+    fn upload_before_download_errors() {
+        let mut mw = LocalDp::new(DpParams::paper_default(), Rng::seed_from(2));
+        let mut p = params(1.0);
+        assert!(matches!(
+            mw.transform_upload(0, &mut p),
+            Err(FlError::Middleware { name: "ldp", .. })
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! Weak differential privacy (WDP): norm bounding plus low-magnitude noise.
+//!
+//! "Weak Differential Privacy (WDP) applies norm bounding and Gaussian noise
+//! with a low magnitude for better model utility" (§2.3, following Sun et
+//! al., "Can You Really Backdoor Federated Learning?"). The paper's setting
+//! is a norm bound of 5 and σ = 0.025 (§5.2). As in that work, the bound
+//! applies to the client's **model update** (trained minus received global).
+//! Unlike [`crate::LocalDp`], the noise is an absolute magnitude, not
+//! calibrated to a budget — hence "weak": good utility, limited protection
+//! (its attack AUC stays high in Fig. 6).
+
+use crate::dp::{add_gaussian_noise, clip_l2};
+use dinar_fl::{ClientMiddleware, FlError, Result};
+use dinar_nn::ModelParams;
+use dinar_tensor::Rng;
+
+/// WDP upload middleware.
+#[derive(Debug)]
+pub struct WeakDp {
+    norm_bound: f32,
+    sigma: f32,
+    rng: Rng,
+    received_global: Option<ModelParams>,
+}
+
+impl WeakDp {
+    /// Creates the middleware with explicit bound and noise magnitude.
+    pub fn new(norm_bound: f32, sigma: f32, rng: Rng) -> Self {
+        WeakDp {
+            norm_bound,
+            sigma,
+            rng,
+            received_global: None,
+        }
+    }
+
+    /// The paper's configuration: norm bound 5, σ = 0.025.
+    pub fn paper_default(rng: Rng) -> Self {
+        WeakDp::new(5.0, 0.025, rng)
+    }
+}
+
+impl ClientMiddleware for WeakDp {
+    fn transform_download(&mut self, _client_id: usize, params: &mut ModelParams) -> Result<()> {
+        self.received_global = Some(params.clone());
+        Ok(())
+    }
+
+    fn transform_upload(&mut self, _client_id: usize, params: &mut ModelParams) -> Result<()> {
+        let global = self
+            .received_global
+            .as_ref()
+            .ok_or_else(|| FlError::Middleware {
+                name: "wdp",
+                reason: "upload before any download; no reference model".into(),
+            })?;
+        let mut update = params.sub(global)?;
+        clip_l2(&mut update, self.norm_bound);
+        add_gaussian_noise(&mut update, self.sigma, &mut self.rng);
+        let mut upload = global.clone();
+        upload.add_assign(&update)?;
+        *params = upload;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "wdp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_nn::LayerParams;
+    use dinar_tensor::Tensor;
+
+    fn params(value: f32) -> ModelParams {
+        ModelParams::new(vec![LayerParams::new(vec![Tensor::full(&[400], value)])])
+    }
+
+    #[test]
+    fn bounds_update_norm_and_adds_small_noise() {
+        let mut mw = WeakDp::paper_default(Rng::seed_from(0));
+        let mut g = params(0.0);
+        mw.transform_download(0, &mut g).unwrap();
+        let mut trained = params(1.0); // update norm 20
+        mw.transform_upload(0, &mut trained).unwrap();
+        // Update clipped to 5, noise sigma 0.025 over 400 coords adds ~0.5.
+        let update_norm = trained.l2_norm();
+        assert!((update_norm - 5.0).abs() < 1.0, "norm {update_norm}");
+    }
+
+    #[test]
+    fn small_updates_pass_almost_unchanged() {
+        let mut mw = WeakDp::paper_default(Rng::seed_from(1));
+        let mut g = params(1.0);
+        mw.transform_download(0, &mut g).unwrap();
+        let mut trained = params(1.01); // update norm 0.2, below the bound
+        mw.transform_upload(0, &mut trained).unwrap();
+        let dev = trained.sub(&params(1.01)).unwrap().l2_norm();
+        // Only the sigma=0.025 noise remains: norm ~0.5 over 400 coords.
+        assert!(dev < 1.0, "deviation {dev}");
+    }
+
+    #[test]
+    fn noise_is_much_weaker_than_ldp() {
+        use crate::{dp::DpParams, ldp::LocalDp};
+        let measure = |is_wdp: bool| {
+            let mut g = params(0.5);
+            let mut trained = params(0.5); // zero true update
+            if is_wdp {
+                let mut mw = WeakDp::paper_default(Rng::seed_from(3));
+                mw.transform_download(0, &mut g).unwrap();
+                mw.transform_upload(0, &mut trained).unwrap();
+            } else {
+                let mut mw = LocalDp::new(DpParams::paper_default(), Rng::seed_from(3));
+                mw.transform_download(0, &mut g).unwrap();
+                mw.transform_upload(0, &mut trained).unwrap();
+            }
+            trained.sub(&params(0.5)).unwrap().l2_norm()
+        };
+        let wdp_dev = measure(true);
+        let ldp_dev = measure(false);
+        assert!(
+            ldp_dev > wdp_dev * 2.0,
+            "ldp {ldp_dev} should out-noise wdp {wdp_dev}"
+        );
+    }
+
+    #[test]
+    fn upload_before_download_errors() {
+        let mut mw = WeakDp::paper_default(Rng::seed_from(4));
+        let mut p = params(1.0);
+        assert!(mw.transform_upload(0, &mut p).is_err());
+    }
+}

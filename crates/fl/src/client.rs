@@ -1,0 +1,284 @@
+//! The FL client: local model, local data, local training.
+
+use crate::{ClientMiddleware, FlError, Result};
+use dinar_data::Dataset;
+use dinar_nn::loss::CrossEntropyLoss;
+use dinar_nn::optim::Optimizer;
+use dinar_nn::{Model, ModelParams};
+use dinar_tensor::Rng;
+
+/// The parameter set a client uploads after local training, with the sample
+/// count the server uses as its FedAvg weight.
+#[derive(Debug, Clone)]
+pub struct ClientUpdate {
+    /// Uploading client's id.
+    pub client_id: usize,
+    /// The (possibly defense-transformed) model parameters.
+    pub params: ModelParams,
+    /// Number of local training samples (FedAvg weight).
+    pub num_samples: usize,
+}
+
+/// One federated learning participant.
+///
+/// A client owns its model, optimizer, private data shard, RNG stream and
+/// middleware stack. The round protocol is
+/// [`receive_global`](FlClient::receive_global) →
+/// [`train_local`](FlClient::train_local) →
+/// [`produce_update`](FlClient::produce_update).
+#[derive(Debug)]
+pub struct FlClient {
+    id: usize,
+    model: Model,
+    optimizer: Box<dyn Optimizer>,
+    data: Dataset,
+    middleware: Vec<Box<dyn ClientMiddleware>>,
+    rng: Rng,
+    local_epochs: usize,
+    batch_size: usize,
+}
+
+impl FlClient {
+    /// Creates a client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for an empty shard or zero
+    /// epochs/batch size.
+    pub fn new(
+        id: usize,
+        model: Model,
+        optimizer: Box<dyn Optimizer>,
+        data: Dataset,
+        rng: Rng,
+        local_epochs: usize,
+        batch_size: usize,
+    ) -> Result<Self> {
+        if data.is_empty() {
+            return Err(FlError::InvalidConfig {
+                reason: format!("client {id} has no local data"),
+            });
+        }
+        if local_epochs == 0 || batch_size == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: "local_epochs and batch_size must be positive".into(),
+            });
+        }
+        Ok(FlClient {
+            id,
+            model,
+            optimizer,
+            data,
+            middleware: Vec::new(),
+            rng,
+            local_epochs,
+            batch_size,
+        })
+    }
+
+    /// Client id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of local training samples.
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The client's local dataset (its members, for attack evaluation).
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The client's current (personalized) model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Mutable access to the client's model (used by evaluation helpers).
+    pub fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// Appends a middleware to the client's stack.
+    pub fn push_middleware(&mut self, mw: Box<dyn ClientMiddleware>) {
+        self.middleware.push(mw);
+    }
+
+    /// Names of the installed middleware, in order.
+    pub fn middleware_names(&self) -> Vec<&'static str> {
+        self.middleware.iter().map(|m| m.name()).collect()
+    }
+
+    /// Receives the global model: runs the download middleware chain and
+    /// installs the result into the local model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware and shape errors.
+    pub fn receive_global(&mut self, global: &ModelParams) -> Result<()> {
+        let mut install = global.clone();
+        for mw in &mut self.middleware {
+            mw.transform_download(self.id, &mut install)?;
+        }
+        self.model.set_params(&install)?;
+        Ok(())
+    }
+
+    /// Runs `local_epochs` of mini-batch training on the local shard and
+    /// returns the mean training loss over all batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward/backward and optimizer errors.
+    pub fn train_local(&mut self) -> Result<f32> {
+        let loss_fn = CrossEntropyLoss;
+        let mut total = 0.0f64;
+        let mut batches = 0u32;
+        for _ in 0..self.local_epochs {
+            for indices in self.data.batch_indices(self.batch_size, &mut self.rng) {
+                let batch = self.data.batch(&indices)?;
+                let logits = self.model.forward(&batch.features, true)?;
+                let (loss, grad) = loss_fn.loss_and_grad(&logits, &batch.labels)?;
+                self.model.zero_grad();
+                self.model.backward(&grad)?;
+                self.optimizer.step(&mut self.model)?;
+                total += loss as f64;
+                batches += 1;
+            }
+        }
+        Ok((total / batches.max(1) as f64) as f32)
+    }
+
+    /// Produces the upload for this round: snapshots the model parameters and
+    /// runs the upload middleware chain (defense transforms) over them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware errors.
+    pub fn produce_update(&mut self) -> Result<ClientUpdate> {
+        let mut params = self.model.params();
+        for mw in &mut self.middleware {
+            mw.transform_upload(self.id, &mut params)?;
+        }
+        Ok(ClientUpdate {
+            client_id: self.id,
+            params,
+            num_samples: self.data.len(),
+        })
+    }
+
+    /// Accuracy of the client's current model on a labelled dataset.
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward-pass errors.
+    pub fn evaluate(&mut self, dataset: &Dataset) -> Result<f32> {
+        let batch = dataset.full_batch()?;
+        Ok(self.model.accuracy(&batch.features, &batch.labels)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_data::Dataset;
+    use dinar_nn::models::{self, Activation};
+    use dinar_nn::optim::Sgd;
+    use dinar_tensor::Tensor;
+
+    fn blob_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let mut features = Tensor::zeros(&[n, 2]);
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let c = if class == 0 { -2.0 } else { 2.0 };
+            features.set(&[i, 0], rng.normal_with(c, 0.5)).unwrap();
+            features.set(&[i, 1], rng.normal_with(c, 0.5)).unwrap();
+            labels.push(class);
+        }
+        Dataset::new(features, labels, &[2], 2).unwrap()
+    }
+
+    fn make_client(id: usize) -> FlClient {
+        let mut rng = Rng::seed_from(42);
+        let model = models::mlp(&[2, 8, 2], Activation::ReLU, &mut rng).unwrap();
+        FlClient::new(
+            id,
+            model,
+            Box::new(Sgd::new(0.1)),
+            blob_dataset(64, id as u64),
+            rng.split(id as u64),
+            2,
+            16,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn local_training_learns() {
+        let mut client = make_client(0);
+        let first = client.train_local().unwrap();
+        for _ in 0..5 {
+            client.train_local().unwrap();
+        }
+        let last = client.train_local().unwrap();
+        assert!(last < first * 0.5, "{first} -> {last}");
+        let acc = client.evaluate(&blob_dataset(32, 99)).unwrap();
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn receive_global_installs_parameters() {
+        let mut a = make_client(0);
+        let mut b = make_client(1);
+        a.train_local().unwrap();
+        let params = a.model().params();
+        b.receive_global(&params).unwrap();
+        assert!(b.model().params().max_abs_diff(&params).unwrap() < 1e-7);
+    }
+
+    #[test]
+    fn produce_update_carries_weight() {
+        let mut client = make_client(3);
+        let update = client.produce_update().unwrap();
+        assert_eq!(update.client_id, 3);
+        assert_eq!(update.num_samples, 64);
+    }
+
+    #[test]
+    fn empty_shard_rejected() {
+        let mut rng = Rng::seed_from(0);
+        let model = models::mlp(&[2, 2], Activation::ReLU, &mut rng).unwrap();
+        let empty = Dataset::new(Tensor::zeros(&[0, 2]), vec![], &[2], 2).unwrap();
+        assert!(matches!(
+            FlClient::new(0, model, Box::new(Sgd::new(0.1)), empty, rng, 1, 8),
+            Err(FlError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn middleware_chain_runs_in_order() {
+        #[derive(Debug)]
+        struct Tag(f32);
+        impl ClientMiddleware for Tag {
+            fn transform_upload(&mut self, _c: usize, p: &mut ModelParams) -> Result<()> {
+                let v = self.0;
+                p.map_inplace(move |x| x + v);
+                Ok(())
+            }
+            fn name(&self) -> &'static str {
+                "tag"
+            }
+        }
+        let mut client = make_client(0);
+        let base = client.model().params();
+        client.push_middleware(Box::new(Tag(1.0)));
+        client.push_middleware(Box::new(Tag(10.0)));
+        let update = client.produce_update().unwrap();
+        let diff = update.params.sub(&base).unwrap();
+        assert!(diff.to_flat().iter().all(|&d| (d - 11.0).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,103 @@
+//! Middleware hook points for privacy defenses.
+//!
+//! The paper frames DINAR as an FL *middleware* running at the client side
+//! (Fig. 2): it intercepts the global model on its way in (personalization)
+//! and the client model on its way out (obfuscation). The baseline defenses
+//! fit the same two hook points — LDP/WDP/GC/SA transform uploads, CDP
+//! transforms the server aggregate — so this module defines both traits and
+//! the engine threads every exchanged parameter set through them.
+
+use crate::Result;
+use dinar_nn::ModelParams;
+
+/// Client-side hooks: transforms applied to downloaded and uploaded
+/// parameter sets.
+///
+/// Middleware is stateful and per-client (e.g. DINAR stores the private
+/// layer between rounds). Hooks run in registration order on upload and in
+/// the same order on download.
+pub trait ClientMiddleware: std::fmt::Debug + Send {
+    /// Transforms the global parameters received from the server *before*
+    /// they are installed into the client model.
+    ///
+    /// The default is the identity (install the global model as-is).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the parameter structure is
+    /// incompatible with their state.
+    fn transform_download(&mut self, client_id: usize, params: &mut ModelParams) -> Result<()> {
+        let _ = (client_id, params);
+        Ok(())
+    }
+
+    /// Transforms the client parameters *after* local training, before they
+    /// are uploaded to the server.
+    ///
+    /// The default is the identity (upload the trained model as-is).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the parameter structure is
+    /// incompatible with their state.
+    fn transform_upload(&mut self, client_id: usize, params: &mut ModelParams) -> Result<()> {
+        let _ = (client_id, params);
+        Ok(())
+    }
+
+    /// Short middleware name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Server-side hook: transforms the aggregated global model before it is
+/// shared back with the clients (e.g. central differential privacy).
+pub trait ServerMiddleware: std::fmt::Debug + Send {
+    /// Transforms the freshly aggregated global parameters.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return an error if the parameter structure is
+    /// incompatible with their state.
+    fn transform_aggregate(&mut self, params: &mut ModelParams) -> Result<()>;
+
+    /// Short middleware name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The no-op middleware (the undefended FL baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Passthrough;
+
+impl ClientMiddleware for Passthrough {
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+impl ServerMiddleware for Passthrough {
+    fn transform_aggregate(&mut self, _params: &mut ModelParams) -> Result<()> {
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_nn::LayerParams;
+    use dinar_tensor::Tensor;
+
+    #[test]
+    fn passthrough_is_identity() {
+        let mut mw = Passthrough;
+        let mut params = ModelParams::new(vec![LayerParams::new(vec![Tensor::ones(&[3])])]);
+        let before = params.clone();
+        ClientMiddleware::transform_download(&mut mw, 0, &mut params).unwrap();
+        ClientMiddleware::transform_upload(&mut mw, 0, &mut params).unwrap();
+        ServerMiddleware::transform_aggregate(&mut mw, &mut params).unwrap();
+        assert_eq!(params, before);
+    }
+}

@@ -1,0 +1,158 @@
+//! The FL server: FedAvg aggregation and server-side middleware.
+
+use crate::{ClientUpdate, FlError, Result, ServerMiddleware};
+use dinar_nn::ModelParams;
+
+/// The federated learning server.
+///
+/// Holds the current global model and aggregates client updates with
+/// **FedAvg**: a weighted average where each client's weight is proportional
+/// to its local sample count (§2.1). Server middleware (e.g. central DP)
+/// transforms the aggregate before it becomes the new global model.
+#[derive(Debug)]
+pub struct FlServer {
+    global: ModelParams,
+    middleware: Vec<Box<dyn ServerMiddleware>>,
+    rounds_completed: usize,
+}
+
+impl FlServer {
+    /// Creates a server with the given initial global model.
+    pub fn new(initial: ModelParams) -> Self {
+        FlServer {
+            global: initial,
+            middleware: Vec::new(),
+            rounds_completed: 0,
+        }
+    }
+
+    /// The current global model parameters.
+    pub fn global_params(&self) -> &ModelParams {
+        &self.global
+    }
+
+    /// Number of aggregation rounds completed.
+    pub fn rounds_completed(&self) -> usize {
+        self.rounds_completed
+    }
+
+    /// Appends a server middleware.
+    pub fn push_middleware(&mut self, mw: Box<dyn ServerMiddleware>) {
+        self.middleware.push(mw);
+    }
+
+    /// FedAvg-aggregates the client updates into a new global model and runs
+    /// the server middleware chain over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::NoUpdates`] for an empty update set, or shape
+    /// errors if a client uploaded an incompatible architecture.
+    pub fn aggregate(&mut self, updates: &[ClientUpdate]) -> Result<&ModelParams> {
+        if updates.is_empty() {
+            return Err(FlError::NoUpdates);
+        }
+        let total: usize = updates.iter().map(|u| u.num_samples).sum();
+        if total == 0 {
+            return Err(FlError::InvalidConfig {
+                reason: "all client updates report zero samples".into(),
+            });
+        }
+        let mut aggregate = updates[0].params.zeros_like();
+        for update in updates {
+            let weight = update.num_samples as f32 / total as f32;
+            aggregate.scaled_add_assign(weight, &update.params)?;
+        }
+        for mw in &mut self.middleware {
+            mw.transform_aggregate(&mut aggregate)?;
+        }
+        self.global = aggregate;
+        self.rounds_completed += 1;
+        Ok(&self.global)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_nn::LayerParams;
+    use dinar_tensor::Tensor;
+
+    fn params(value: f32) -> ModelParams {
+        ModelParams::new(vec![LayerParams::new(vec![Tensor::full(&[4], value)])])
+    }
+
+    fn update(id: usize, value: f32, n: usize) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            params: params(value),
+            num_samples: n,
+        }
+    }
+
+    #[test]
+    fn fedavg_weights_by_sample_count() {
+        let mut server = FlServer::new(params(0.0));
+        // 1*100 + 5*300 over 400 samples = 4.0
+        server
+            .aggregate(&[update(0, 1.0, 100), update(1, 5.0, 300)])
+            .unwrap();
+        let g = server.global_params();
+        assert!(g.layers[0].tensors[0]
+            .as_slice()
+            .iter()
+            .all(|&x| (x - 4.0).abs() < 1e-6));
+        assert_eq!(server.rounds_completed(), 1);
+    }
+
+    #[test]
+    fn equal_weights_give_plain_mean() {
+        let mut server = FlServer::new(params(0.0));
+        server
+            .aggregate(&[update(0, 2.0, 50), update(1, 4.0, 50)])
+            .unwrap();
+        assert!((server.global_params().layers[0].tensors[0].as_slice()[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_updates_rejected() {
+        let mut server = FlServer::new(params(0.0));
+        assert!(matches!(server.aggregate(&[]), Err(FlError::NoUpdates)));
+    }
+
+    #[test]
+    fn zero_total_samples_rejected() {
+        let mut server = FlServer::new(params(0.0));
+        assert!(server.aggregate(&[update(0, 1.0, 0)]).is_err());
+    }
+
+    #[test]
+    fn server_middleware_transforms_aggregate() {
+        #[derive(Debug)]
+        struct AddOne;
+        impl ServerMiddleware for AddOne {
+            fn transform_aggregate(&mut self, p: &mut ModelParams) -> Result<()> {
+                p.map_inplace(|x| x + 1.0);
+                Ok(())
+            }
+            fn name(&self) -> &'static str {
+                "add_one"
+            }
+        }
+        let mut server = FlServer::new(params(0.0));
+        server.push_middleware(Box::new(AddOne));
+        server.aggregate(&[update(0, 2.0, 10)]).unwrap();
+        assert!((server.global_params().layers[0].tensors[0].as_slice()[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mismatched_architectures_rejected() {
+        let mut server = FlServer::new(params(0.0));
+        let bad = ClientUpdate {
+            client_id: 1,
+            params: ModelParams::new(vec![LayerParams::new(vec![Tensor::full(&[5], 1.0)])]),
+            num_samples: 10,
+        };
+        assert!(server.aggregate(&[update(0, 1.0, 10), bad]).is_err());
+    }
+}

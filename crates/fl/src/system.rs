@@ -1,0 +1,493 @@
+//! Round orchestration, system builder and cost accounting.
+
+use crate::{ClientMiddleware, FlClient, FlError, FlServer, Result, ServerMiddleware};
+use dinar_data::Dataset;
+use dinar_metrics::cost::{measure, CostSample};
+use dinar_nn::optim::Optimizer;
+use dinar_nn::{Model, ModelParams};
+use dinar_tensor::Rng;
+use serde::Serialize;
+
+/// Static configuration of an FL system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FlConfig {
+    /// Local epochs per client per round (the paper uses 5, or 10 for
+    /// Purchase100).
+    pub local_epochs: usize,
+    /// Mini-batch size (the paper uses 64).
+    pub batch_size: usize,
+    /// Master seed; every client derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl Default for FlConfig {
+    fn default() -> Self {
+        FlConfig {
+            local_epochs: 5,
+            batch_size: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-round measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RoundReport {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Mean training loss across clients.
+    pub mean_train_loss: f32,
+    /// Cost sample for this round: mean client training time, server
+    /// aggregation time, max client peak memory.
+    pub cost: CostSample,
+}
+
+/// A complete federated learning system: one server plus its clients.
+#[derive(Debug)]
+pub struct FlSystem {
+    server: FlServer,
+    clients: Vec<FlClient>,
+    rounds_run: usize,
+}
+
+impl FlSystem {
+    /// Starts building a system with the given configuration.
+    pub fn builder(config: FlConfig) -> FlSystemBuilder {
+        FlSystemBuilder {
+            config,
+            clients: Vec::new(),
+            server_middleware: Vec::new(),
+            initial: None,
+        }
+    }
+
+    /// The server.
+    pub fn server(&self) -> &FlServer {
+        &self.server
+    }
+
+    /// Mutable access to the server (to attach middleware after build).
+    pub fn server_mut(&mut self) -> &mut FlServer {
+        &mut self.server
+    }
+
+    /// The clients.
+    pub fn clients(&self) -> &[FlClient] {
+        &self.clients
+    }
+
+    /// Mutable access to the clients (to attach middleware after build).
+    pub fn clients_mut(&mut self) -> &mut [FlClient] {
+        &mut self.clients
+    }
+
+    /// Current global model parameters.
+    pub fn global_params(&self) -> &ModelParams {
+        self.server.global_params()
+    }
+
+    /// Decomposes the system into its server, clients and completed-round
+    /// count (used by the threaded transport, which needs to move clients
+    /// into their own threads).
+    pub fn into_parts(self) -> (FlServer, Vec<FlClient>, usize) {
+        (self.server, self.clients, self.rounds_run)
+    }
+
+    /// Reassembles a system from parts produced by [`FlSystem::into_parts`].
+    pub fn from_parts(server: FlServer, clients: Vec<FlClient>, rounds_run: usize) -> Self {
+        FlSystem {
+            server,
+            clients,
+            rounds_run,
+        }
+    }
+
+    /// Runs one FL round: every client downloads the global model, trains
+    /// locally and uploads; the server aggregates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates client training, middleware and aggregation errors.
+    pub fn run_round(&mut self) -> Result<RoundReport> {
+        let global = self.server.global_params().clone();
+        let mut updates = Vec::with_capacity(self.clients.len());
+        let mut loss_sum = 0.0f64;
+        let mut train_time_sum = 0.0f64;
+        let mut peak_mem = 0u64;
+        for client in &mut self.clients {
+            let (result, elapsed, mem) = measure(|| -> Result<_> {
+                client.receive_global(&global)?;
+                let loss = client.train_local()?;
+                let update = client.produce_update()?;
+                Ok((loss, update))
+            });
+            let (loss, update) = result?;
+            loss_sum += loss as f64;
+            train_time_sum += elapsed.as_secs_f64();
+            peak_mem = peak_mem.max(mem);
+            updates.push(update);
+        }
+        let (agg_result, agg_elapsed, _) = measure(|| self.server.aggregate(&updates).map(|_| ()));
+        agg_result?;
+        self.rounds_run += 1;
+        Ok(RoundReport {
+            round: self.rounds_run,
+            mean_train_loss: (loss_sum / self.clients.len().max(1) as f64) as f32,
+            cost: CostSample {
+                client_train_s: train_time_sum / self.clients.len().max(1) as f64,
+                server_agg_s: agg_elapsed.as_secs_f64(),
+                client_peak_mem_bytes: peak_mem,
+            },
+        })
+    }
+
+    /// Runs `rounds` FL rounds and returns the per-round reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FlSystem::run_round`] errors.
+    pub fn run(&mut self, rounds: usize) -> Result<Vec<RoundReport>> {
+        (0..rounds).map(|_| self.run_round()).collect()
+    }
+
+    /// Runs one round with **partial participation**: the server selects a
+    /// uniformly random subset of `participants` clients (§2.1: "the FL
+    /// server selects N participating clients"); only they download, train
+    /// and upload this round. Cross-silo deployments typically select
+    /// everyone (use [`FlSystem::run_round`]); this entry point models
+    /// cross-device-style sampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] if `participants` is zero or
+    /// exceeds the client count; propagates training/aggregation errors.
+    pub fn run_round_with_selection(
+        &mut self,
+        participants: usize,
+        rng: &mut Rng,
+    ) -> Result<RoundReport> {
+        if participants == 0 || participants > self.clients.len() {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "cannot select {participants} of {} clients",
+                    self.clients.len()
+                ),
+            });
+        }
+        let mut selected = rng.permutation(self.clients.len());
+        selected.truncate(participants);
+        selected.sort_unstable();
+
+        let global = self.server.global_params().clone();
+        let mut updates = Vec::with_capacity(participants);
+        let mut loss_sum = 0.0f64;
+        let mut train_time_sum = 0.0f64;
+        let mut peak_mem = 0u64;
+        for &idx in &selected {
+            let client = &mut self.clients[idx];
+            let (result, elapsed, mem) = measure(|| -> Result<_> {
+                client.receive_global(&global)?;
+                let loss = client.train_local()?;
+                let update = client.produce_update()?;
+                Ok((loss, update))
+            });
+            let (loss, update) = result?;
+            loss_sum += loss as f64;
+            train_time_sum += elapsed.as_secs_f64();
+            peak_mem = peak_mem.max(mem);
+            updates.push(update);
+        }
+        let (agg_result, agg_elapsed, _) = measure(|| self.server.aggregate(&updates).map(|_| ()));
+        agg_result?;
+        self.rounds_run += 1;
+        Ok(RoundReport {
+            round: self.rounds_run,
+            mean_train_loss: (loss_sum / participants as f64) as f32,
+            cost: CostSample {
+                client_train_s: train_time_sum / participants as f64,
+                server_agg_s: agg_elapsed.as_secs_f64(),
+                client_peak_mem_bytes: peak_mem,
+            },
+        })
+    }
+
+    /// Pushes the final global model to every client (running their download
+    /// middleware), so client models reflect the end-of-training state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware errors.
+    pub fn sync_clients(&mut self) -> Result<()> {
+        let global = self.server.global_params().clone();
+        for client in &mut self.clients {
+            client.receive_global(&global)?;
+        }
+        Ok(())
+    }
+
+    /// Mean accuracy of the clients' (personalized) models on a dataset —
+    /// the paper's overall model utility metric (Appendix A).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors.
+    pub fn mean_client_accuracy(&mut self, dataset: &Dataset) -> Result<f32> {
+        let mut sum = 0.0f64;
+        let n = self.clients.len().max(1);
+        for client in &mut self.clients {
+            sum += client.evaluate(dataset)? as f64;
+        }
+        Ok((sum / n as f64) as f32)
+    }
+}
+
+/// Builder for [`FlSystem`].
+#[derive(Debug)]
+pub struct FlSystemBuilder {
+    config: FlConfig,
+    clients: Vec<FlClient>,
+    server_middleware: Vec<Box<dyn ServerMiddleware>>,
+    initial: Option<ModelParams>,
+}
+
+impl FlSystemBuilder {
+    /// Creates one client per data shard.
+    ///
+    /// All clients start from the **same** initial parameters (drawn once
+    /// from `model_fn`), matching the FL protocol where round 0 distributes
+    /// a common global model. Each client gets an independent RNG stream and
+    /// a fresh optimizer from `opt_fn`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] for empty shards or model factory
+    /// failures.
+    pub fn clients_from_shards(
+        mut self,
+        shards: Vec<Dataset>,
+        model_fn: impl Fn(&mut Rng) -> dinar_nn::Result<Model>,
+        opt_fn: impl Fn(usize) -> Box<dyn Optimizer>,
+    ) -> Result<Self> {
+        let root = Rng::seed_from(self.config.seed);
+        let mut init_rng = root.split(u64::MAX);
+        let init_model = model_fn(&mut init_rng).map_err(FlError::from)?;
+        let initial = init_model.params();
+        let base_id = self.clients.len();
+        for (offset, shard) in shards.into_iter().enumerate() {
+            let id = base_id + offset;
+            let mut client_rng = root.split(id as u64);
+            let mut model = model_fn(&mut client_rng).map_err(FlError::from)?;
+            model.set_params(&initial).map_err(FlError::from)?;
+            let client = FlClient::new(
+                id,
+                model,
+                opt_fn(id),
+                shard,
+                client_rng.split(0xC11E),
+                self.config.local_epochs,
+                self.config.batch_size,
+            )?;
+            self.clients.push(client);
+        }
+        self.initial = Some(initial);
+        Ok(self)
+    }
+
+    /// Attaches middleware to every client, built per client id.
+    pub fn with_client_middleware(
+        mut self,
+        factory: impl Fn(usize) -> Vec<Box<dyn ClientMiddleware>>,
+    ) -> Self {
+        for client in &mut self.clients {
+            for mw in factory(client.id()) {
+                client.push_middleware(mw);
+            }
+        }
+        self
+    }
+
+    /// Attaches a server middleware.
+    pub fn with_server_middleware(mut self, mw: Box<dyn ServerMiddleware>) -> Self {
+        self.server_middleware.push(mw);
+        self
+    }
+
+    /// Finalizes the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] if no clients were added.
+    pub fn build(self) -> Result<FlSystem> {
+        let initial = self.initial.ok_or_else(|| FlError::InvalidConfig {
+            reason: "no clients configured; call clients_from_shards first".into(),
+        })?;
+        if self.clients.is_empty() {
+            return Err(FlError::InvalidConfig {
+                reason: "system needs at least one client".into(),
+            });
+        }
+        let mut server = FlServer::new(initial);
+        for mw in self.server_middleware {
+            server.push_middleware(mw);
+        }
+        Ok(FlSystem {
+            server,
+            clients: self.clients,
+            rounds_run: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_data::partition::{partition_dataset, Distribution};
+    use dinar_data::Dataset;
+    use dinar_nn::models::{self, Activation};
+    use dinar_nn::optim::Sgd;
+    use dinar_tensor::Tensor;
+
+    fn blob_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let mut features = Tensor::zeros(&[n, 2]);
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let c = if class == 0 { -2.0 } else { 2.0 };
+            features.set(&[i, 0], rng.normal_with(c, 0.6)).unwrap();
+            features.set(&[i, 1], rng.normal_with(c, 0.6)).unwrap();
+            labels.push(class);
+        }
+        Dataset::new(features, labels, &[2], 2).unwrap()
+    }
+
+    fn small_system(clients: usize) -> FlSystem {
+        let data = blob_dataset(120, 5);
+        let mut rng = Rng::seed_from(9);
+        let shards = partition_dataset(&data, clients, Distribution::Iid, &mut rng).unwrap();
+        FlSystem::builder(FlConfig {
+            local_epochs: 2,
+            batch_size: 16,
+            seed: 3,
+        })
+        .clients_from_shards(
+            shards,
+            |rng| models::mlp(&[2, 8, 2], Activation::ReLU, rng),
+            |_| Box::new(Sgd::new(0.1)),
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn clients_start_from_identical_models() {
+        let system = small_system(3);
+        let p0 = system.clients()[0].model().params();
+        for c in &system.clients()[1..] {
+            assert!(c.model().params().max_abs_diff(&p0).unwrap() < 1e-9);
+        }
+        assert!(system.global_params().max_abs_diff(&p0).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn federated_training_converges_on_easy_task() {
+        let mut system = small_system(3);
+        let reports = system.run(12).unwrap();
+        assert!(reports[11].mean_train_loss < reports[0].mean_train_loss * 0.5);
+        system.sync_clients().unwrap();
+        let test = blob_dataset(60, 77);
+        assert!(system.mean_client_accuracy(&test).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn round_reports_count_and_cost() {
+        let mut system = small_system(2);
+        let reports = system.run(3).unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[2].round, 3);
+        assert!(reports.iter().all(|r| r.cost.client_train_s > 0.0));
+        assert_eq!(system.server().rounds_completed(), 3);
+    }
+
+    #[test]
+    fn build_without_clients_fails() {
+        assert!(matches!(
+            FlSystem::builder(FlConfig::default()).build(),
+            Err(FlError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn global_model_differs_from_any_single_client_after_round() {
+        let mut system = small_system(3);
+        system.run(1).unwrap();
+        // The aggregate should be a mixture, not equal to one client's model
+        // (clients trained on different shards).
+        let global = system.global_params().clone();
+        for c in system.clients() {
+            assert!(c.model().params().max_abs_diff(&global).unwrap() > 1e-6);
+        }
+    }
+}
+
+#[cfg(test)]
+mod selection_tests {
+    use super::*;
+    use dinar_data::partition::{partition_dataset, Distribution};
+    use dinar_data::Dataset;
+    use dinar_nn::models::{self, Activation};
+    use dinar_nn::optim::Sgd;
+
+    fn system(clients: usize) -> FlSystem {
+        let mut rng = Rng::seed_from(1);
+        let features = rng.randn(&[clients * 20, 3]);
+        let labels = (0..clients * 20).map(|i| i % 2).collect();
+        let data = Dataset::new(features, labels, &[3], 2).unwrap();
+        let shards = partition_dataset(&data, clients, Distribution::Iid, &mut rng).unwrap();
+        FlSystem::builder(FlConfig {
+            local_epochs: 1,
+            batch_size: 8,
+            seed: 2,
+        })
+        .clients_from_shards(
+            shards,
+            |rng| models::mlp(&[3, 4, 2], Activation::ReLU, rng),
+            |_| Box::new(Sgd::new(0.05)),
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn partial_participation_round_runs() {
+        let mut sys = system(6);
+        let mut rng = Rng::seed_from(3);
+        let report = sys.run_round_with_selection(2, &mut rng).unwrap();
+        assert_eq!(report.round, 1);
+        assert!(report.mean_train_loss.is_finite());
+    }
+
+    #[test]
+    fn full_selection_equals_plain_round() {
+        let mut a = system(4);
+        let mut b = system(4);
+        let mut rng = Rng::seed_from(4);
+        a.run_round().unwrap();
+        b.run_round_with_selection(4, &mut rng).unwrap();
+        assert!(a
+            .global_params()
+            .max_abs_diff(b.global_params())
+            .unwrap()
+            < 1e-7);
+    }
+
+    #[test]
+    fn invalid_selection_rejected() {
+        let mut sys = system(3);
+        let mut rng = Rng::seed_from(5);
+        assert!(sys.run_round_with_selection(0, &mut rng).is_err());
+        assert!(sys.run_round_with_selection(4, &mut rng).is_err());
+    }
+}

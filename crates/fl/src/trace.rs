@@ -1,0 +1,322 @@
+//! Structured tracing of FL protocol events.
+//!
+//! A deployed FL middleware needs observability: which client trained when,
+//! what the middleware transformed, how long aggregation took. This module
+//! provides a lightweight, allocation-friendly event log —
+//! [`TraceSink`] collects [`FlEvent`]s with monotonic timestamps, and
+//! [`TraceSummary`] rolls them up per client and per round for reports.
+//!
+//! The sink is `Sync` (mutex-protected) so the threaded transport's client
+//! threads can share one collector.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One traced protocol event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum FlEvent {
+    /// A round began on the server.
+    RoundStarted {
+        /// Round number (1-based).
+        round: usize,
+    },
+    /// A client finished local training.
+    ClientTrained {
+        /// Client id.
+        client: usize,
+        /// Round number.
+        round: usize,
+        /// Mean training loss.
+        loss: f32,
+    },
+    /// A middleware transformed a download or upload.
+    MiddlewareApplied {
+        /// Client id (`usize::MAX` for server middleware).
+        client: usize,
+        /// Middleware name.
+        name: &'static str,
+        /// `true` for upload transforms, `false` for downloads.
+        upload: bool,
+    },
+    /// The server produced a new global model.
+    Aggregated {
+        /// Round number.
+        round: usize,
+        /// Number of updates aggregated.
+        updates: usize,
+    },
+}
+
+/// A timestamped event record.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceRecord {
+    /// Microseconds since the sink was created.
+    pub at_us: u64,
+    /// The event.
+    pub event: FlEvent,
+}
+
+/// Thread-safe event collector.
+///
+/// # Example
+///
+/// ```
+/// use dinar_fl::trace::{FlEvent, TraceSink};
+///
+/// let sink = TraceSink::new();
+/// sink.emit(FlEvent::RoundStarted { round: 1 });
+/// assert_eq!(sink.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    inner: Arc<Mutex<Vec<TraceRecord>>>,
+    epoch: Instant,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::new()
+    }
+}
+
+impl TraceSink {
+    /// Creates an empty sink; timestamps are relative to this moment.
+    pub fn new() -> Self {
+        TraceSink {
+            inner: Arc::new(Mutex::new(Vec::new())),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Records an event with the current timestamp.
+    pub fn emit(&self, event: FlEvent) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        self.inner.lock().push(TraceRecord { at_us, event });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Snapshot of all records in emission order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner.lock().clone()
+    }
+
+    /// Clears the log.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Rolls the log up into a summary.
+    pub fn summary(&self) -> TraceSummary {
+        let records = self.records();
+        let mut rounds = 0usize;
+        let mut client_events = std::collections::BTreeMap::<usize, usize>::new();
+        let mut middleware_events = std::collections::BTreeMap::<&'static str, usize>::new();
+        let mut total_loss = 0.0f64;
+        let mut loss_count = 0usize;
+        for r in &records {
+            match &r.event {
+                FlEvent::RoundStarted { round } => rounds = rounds.max(*round),
+                FlEvent::ClientTrained { client, loss, .. } => {
+                    *client_events.entry(*client).or_default() += 1;
+                    total_loss += *loss as f64;
+                    loss_count += 1;
+                }
+                FlEvent::MiddlewareApplied { name, .. } => {
+                    *middleware_events.entry(name).or_default() += 1;
+                }
+                FlEvent::Aggregated { .. } => {}
+            }
+        }
+        let span = records.last().map(|r| r.at_us).unwrap_or(0);
+        TraceSummary {
+            events: records.len(),
+            rounds,
+            trainings_per_client: client_events.into_iter().collect(),
+            middleware_invocations: middleware_events
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+            mean_train_loss: if loss_count == 0 {
+                0.0
+            } else {
+                (total_loss / loss_count as f64) as f32
+            },
+            span: Duration::from_micros(span),
+        }
+    }
+}
+
+/// Aggregated view of a trace.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceSummary {
+    /// Total events recorded.
+    pub events: usize,
+    /// Highest round number observed.
+    pub rounds: usize,
+    /// `(client, trainings)` pairs, ordered by client id.
+    pub trainings_per_client: Vec<(usize, usize)>,
+    /// `(middleware, invocations)` pairs.
+    pub middleware_invocations: Vec<(String, usize)>,
+    /// Mean of all traced training losses.
+    pub mean_train_loss: f32,
+    /// Time between sink creation and the last event.
+    pub span: Duration,
+}
+
+/// A [`ClientMiddleware`](crate::ClientMiddleware) decorator that traces
+/// every transform of an inner middleware.
+#[derive(Debug)]
+pub struct Traced<M> {
+    inner: M,
+    sink: TraceSink,
+    client: usize,
+}
+
+impl<M> Traced<M> {
+    /// Wraps `inner`, reporting into `sink` as `client`.
+    pub fn new(inner: M, sink: TraceSink, client: usize) -> Self {
+        Traced {
+            inner,
+            sink,
+            client,
+        }
+    }
+}
+
+impl<M: crate::ClientMiddleware> crate::ClientMiddleware for Traced<M> {
+    fn transform_download(
+        &mut self,
+        client_id: usize,
+        params: &mut dinar_nn::ModelParams,
+    ) -> crate::Result<()> {
+        self.sink.emit(FlEvent::MiddlewareApplied {
+            client: self.client,
+            name: self.inner.name(),
+            upload: false,
+        });
+        self.inner.transform_download(client_id, params)
+    }
+
+    fn transform_upload(
+        &mut self,
+        client_id: usize,
+        params: &mut dinar_nn::ModelParams,
+    ) -> crate::Result<()> {
+        self.sink.emit(FlEvent::MiddlewareApplied {
+            client: self.client,
+            name: self.inner.name(),
+            upload: true,
+        });
+        self.inner.transform_upload(client_id, params)
+    }
+
+    fn name(&self) -> &'static str {
+        "traced"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::middleware::Passthrough;
+    use crate::ClientMiddleware;
+    use dinar_nn::{LayerParams, ModelParams};
+    use dinar_tensor::Tensor;
+
+    #[test]
+    fn events_are_ordered_and_timestamped() {
+        let sink = TraceSink::new();
+        sink.emit(FlEvent::RoundStarted { round: 1 });
+        sink.emit(FlEvent::ClientTrained {
+            client: 0,
+            round: 1,
+            loss: 2.0,
+        });
+        let records = sink.records();
+        assert_eq!(records.len(), 2);
+        assert!(records[0].at_us <= records[1].at_us);
+    }
+
+    #[test]
+    fn summary_rolls_up_per_client_and_middleware() {
+        let sink = TraceSink::new();
+        for round in 1..=3 {
+            sink.emit(FlEvent::RoundStarted { round });
+            for client in 0..2 {
+                sink.emit(FlEvent::ClientTrained {
+                    client,
+                    round,
+                    loss: 1.0,
+                });
+            }
+            sink.emit(FlEvent::Aggregated { round, updates: 2 });
+        }
+        let summary = sink.summary();
+        assert_eq!(summary.rounds, 3);
+        assert_eq!(summary.trainings_per_client, vec![(0, 3), (1, 3)]);
+        assert!((summary.mean_train_loss - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn traced_middleware_reports_both_directions() {
+        let sink = TraceSink::new();
+        let mut mw = Traced::new(Passthrough, sink.clone(), 7);
+        let mut params = ModelParams::new(vec![LayerParams::new(vec![Tensor::ones(&[2])])]);
+        mw.transform_download(7, &mut params).unwrap();
+        mw.transform_upload(7, &mut params).unwrap();
+        let summary = sink.summary();
+        assert_eq!(summary.middleware_invocations, vec![("passthrough".to_string(), 2)]);
+        let records = sink.records();
+        assert!(matches!(
+            records[0].event,
+            FlEvent::MiddlewareApplied { upload: false, .. }
+        ));
+        assert!(matches!(
+            records[1].event,
+            FlEvent::MiddlewareApplied { upload: true, .. }
+        ));
+    }
+
+    #[test]
+    fn sink_is_shareable_across_threads() {
+        let sink = TraceSink::new();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = sink.clone();
+            handles.push(std::thread::spawn(move || {
+                for round in 0..25 {
+                    s.emit(FlEvent::ClientTrained {
+                        client: t,
+                        round,
+                        loss: 0.5,
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.len(), 100);
+        assert_eq!(sink.summary().trainings_per_client.len(), 4);
+    }
+
+    #[test]
+    fn clear_empties_the_log() {
+        let sink = TraceSink::new();
+        sink.emit(FlEvent::RoundStarted { round: 1 });
+        assert!(!sink.is_empty());
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+}

@@ -1,0 +1,267 @@
+//! Threaded, message-passing execution of an FL system.
+//!
+//! [`FlSystem::run`](crate::FlSystem::run) drives clients sequentially —
+//! ideal for deterministic benchmarking on one core. This module provides
+//! the *distributed* execution mode: every client runs on its own OS thread
+//! and communicates with the server **exclusively through typed messages
+//! over channels**, the way a deployed cross-silo system exchanges models
+//! over the network. No memory is shared between server and clients beyond
+//! the messages.
+//!
+//! The two modes are behaviourally identical: client training is
+//! self-contained and the server sorts updates by client id before
+//! aggregating, so `run_threaded` produces bit-identical global models to
+//! the sequential engine given the same seeds (asserted by the integration
+//! tests).
+
+use crate::{ClientUpdate, FlClient, FlError, FlSystem, Result, RoundReport};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dinar_metrics::cost::CostSample;
+use dinar_nn::ModelParams;
+use std::thread;
+
+/// A message from the server to a client.
+#[derive(Debug)]
+pub enum ServerMsg {
+    /// Start a round: here is the current global model.
+    StartRound {
+        /// Round number (1-based).
+        round: usize,
+        /// Global model parameters.
+        global: ModelParams,
+    },
+    /// Training is over; the client thread should return its client state.
+    Shutdown,
+}
+
+/// A message from a client to the server.
+#[derive(Debug)]
+pub struct ClientMsg {
+    /// Round this update belongs to.
+    pub round: usize,
+    /// The client's (defense-transformed) update.
+    pub update: ClientUpdate,
+    /// The client's mean training loss this round.
+    pub train_loss: f32,
+    /// Client-side wall-clock seconds spent this round.
+    pub train_s: f64,
+}
+
+struct ClientHandle {
+    tx: Sender<ServerMsg>,
+    join: thread::JoinHandle<Result<FlClient>>,
+}
+
+/// Runs `rounds` FL rounds with one thread per client, consuming and
+/// returning the system.
+///
+/// Message flow per round: the server broadcasts
+/// [`ServerMsg::StartRound`] to every client thread; each client installs
+/// the global model (running its download middleware), trains locally,
+/// applies its upload middleware and sends a [`ClientMsg`] back; the server
+/// collects all updates, sorts them by client id (for deterministic
+/// aggregation order) and runs FedAvg plus its server middleware.
+///
+/// # Errors
+///
+/// Propagates client training and aggregation errors; a panicked client
+/// thread surfaces as [`FlError::InvalidConfig`] naming the client.
+pub fn run_threaded(system: FlSystem, rounds: usize) -> Result<(FlSystem, Vec<RoundReport>)> {
+    let (mut server, clients, rounds_before) = system.into_parts();
+    let (update_tx, update_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = unbounded();
+
+    // Spawn one thread per client; each owns its client state for the whole
+    // training run and speaks only through channels.
+    let mut handles: Vec<ClientHandle> = Vec::with_capacity(clients.len());
+    for mut client in clients {
+        let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = unbounded();
+        let updates = update_tx.clone();
+        let join = thread::spawn(move || -> Result<FlClient> {
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    ServerMsg::Shutdown => break,
+                    ServerMsg::StartRound { round, global } => {
+                        let t0 = std::time::Instant::now();
+                        client.receive_global(&global)?;
+                        let train_loss = client.train_local()?;
+                        let update = client.produce_update()?;
+                        // The server may already have shut down on another
+                        // client's error; a closed channel just ends us.
+                        let _ = updates.send(ClientMsg {
+                            round,
+                            update,
+                            train_loss,
+                            train_s: t0.elapsed().as_secs_f64(),
+                        });
+                    }
+                }
+            }
+            Ok(client)
+        });
+        handles.push(ClientHandle { tx, join });
+    }
+    drop(update_tx);
+
+    let num_clients = handles.len();
+    let mut reports = Vec::with_capacity(rounds);
+    let mut error: Option<FlError> = None;
+    'rounds: for r in 1..=rounds {
+        let global = server.global_params().clone();
+        for handle in &handles {
+            if handle
+                .tx
+                .send(ServerMsg::StartRound {
+                    round: r,
+                    global: global.clone(),
+                })
+                .is_err()
+            {
+                error = Some(FlError::InvalidConfig {
+                    reason: "a client thread exited prematurely".into(),
+                });
+                break 'rounds;
+            }
+        }
+        let mut updates: Vec<ClientMsg> = Vec::with_capacity(num_clients);
+        for _ in 0..num_clients {
+            match update_rx.recv() {
+                Ok(msg) => updates.push(msg),
+                Err(_) => {
+                    error = Some(FlError::InvalidConfig {
+                        reason: "a client thread died mid-round".into(),
+                    });
+                    break 'rounds;
+                }
+            }
+        }
+        // Deterministic aggregation order regardless of arrival order.
+        updates.sort_by_key(|m| m.update.client_id);
+        let loss_sum: f64 = updates.iter().map(|m| m.train_loss as f64).sum();
+        let train_s_sum: f64 = updates.iter().map(|m| m.train_s).sum();
+        let round_updates: Vec<ClientUpdate> =
+            updates.into_iter().map(|m| m.update).collect();
+        let t0 = std::time::Instant::now();
+        if let Err(e) = server.aggregate(&round_updates) {
+            error = Some(e);
+            break 'rounds;
+        }
+        reports.push(RoundReport {
+            round: rounds_before + r,
+            mean_train_loss: (loss_sum / num_clients.max(1) as f64) as f32,
+            cost: CostSample {
+                client_train_s: train_s_sum / num_clients.max(1) as f64,
+                server_agg_s: t0.elapsed().as_secs_f64(),
+                // Memory accounting is process-global and would attribute
+                // concurrent clients to each other; the sequential engine is
+                // the cost-measurement mode.
+                client_peak_mem_bytes: 0,
+            },
+        });
+    }
+
+    // Tear down the client threads and reassemble the system.
+    for handle in &handles {
+        let _ = handle.tx.send(ServerMsg::Shutdown);
+    }
+    let mut clients = Vec::with_capacity(num_clients);
+    for handle in handles {
+        match handle.join.join() {
+            Ok(Ok(client)) => clients.push(client),
+            Ok(Err(e)) => error = error.or(Some(e)),
+            Err(_) => {
+                error = error.or(Some(FlError::InvalidConfig {
+                    reason: "a client thread panicked".into(),
+                }));
+            }
+        }
+    }
+    if let Some(e) = error {
+        return Err(e);
+    }
+    clients.sort_by_key(FlClient::id);
+    let completed = rounds_before + reports.len();
+    Ok((FlSystem::from_parts(server, clients, completed), reports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlConfig;
+    use dinar_data::Dataset;
+    use dinar_nn::models::{self, Activation};
+    use dinar_nn::optim::Sgd;
+    use dinar_tensor::{Rng, Tensor};
+
+    fn blob_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        let mut features = Tensor::zeros(&[n, 2]);
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let c = if class == 0 { -2.0 } else { 2.0 };
+            features.set(&[i, 0], rng.normal_with(c, 0.6)).unwrap();
+            features.set(&[i, 1], rng.normal_with(c, 0.6)).unwrap();
+            labels.push(class);
+        }
+        Dataset::new(features, labels, &[2], 2).unwrap()
+    }
+
+    fn build_system() -> FlSystem {
+        let data = blob_dataset(90, 5);
+        let mut rng = Rng::seed_from(9);
+        let shards = dinar_data::partition::partition_dataset(
+            &data,
+            3,
+            dinar_data::partition::Distribution::Iid,
+            &mut rng,
+        )
+        .unwrap();
+        FlSystem::builder(FlConfig {
+            local_epochs: 2,
+            batch_size: 16,
+            seed: 3,
+        })
+        .clients_from_shards(
+            shards,
+            |rng| models::mlp(&[2, 8, 2], Activation::ReLU, rng),
+            |_| Box::new(Sgd::new(0.1)),
+        )
+        .unwrap()
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn threaded_matches_sequential_exactly() {
+        let mut sequential = build_system();
+        sequential.run(4).unwrap();
+
+        let (threaded, reports) = run_threaded(build_system(), 4).unwrap();
+        assert_eq!(reports.len(), 4);
+        let diff = sequential
+            .global_params()
+            .max_abs_diff(threaded.global_params())
+            .unwrap();
+        assert!(diff < 1e-7, "threaded diverged from sequential by {diff}");
+    }
+
+    #[test]
+    fn threaded_reports_progress_and_preserves_clients() {
+        let (system, reports) = run_threaded(build_system(), 3).unwrap();
+        assert_eq!(system.clients().len(), 3);
+        assert_eq!(system.server().rounds_completed(), 3);
+        assert_eq!(reports.last().unwrap().round, 3);
+        // Client ids intact and ordered after the round trip.
+        let ids: Vec<usize> = system.clients().iter().map(FlClient::id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        // Learning actually happened.
+        assert!(reports[2].mean_train_loss < reports[0].mean_train_loss);
+    }
+
+    #[test]
+    fn threaded_then_sequential_continues_seamlessly() {
+        let (mut system, _) = run_threaded(build_system(), 2).unwrap();
+        let report = system.run_round().unwrap();
+        assert_eq!(report.round, 3);
+    }
+}

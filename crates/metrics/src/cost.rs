@@ -1,0 +1,184 @@
+//! Cost accounting: wall-clock time and tensor memory.
+//!
+//! Backs the Table 3 comparison ("training duration per FL round on client
+//! side", "aggregation duration on server side", "GPU memory usage on client
+//! side"). Times are wall-clock; memory is the peak of extra live tensor
+//! bytes measured through `dinar_tensor::alloc`.
+
+use dinar_tensor::alloc::MemoryScope;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// A running stopwatch accumulating durations across start/stop cycles.
+#[derive(Debug, Default)]
+pub struct Stopwatch {
+    total: Duration,
+    started: Option<Instant>,
+    laps: u32,
+}
+
+impl Stopwatch {
+    /// Creates a stopped stopwatch at zero.
+    pub fn new() -> Self {
+        Stopwatch::default()
+    }
+
+    /// Starts (or restarts) timing. Calling `start` twice without `stop`
+    /// restarts the current lap.
+    pub fn start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    /// Stops timing and accumulates the lap. No-op if not started.
+    pub fn stop(&mut self) {
+        if let Some(t0) = self.started.take() {
+            self.total += t0.elapsed();
+            self.laps += 1;
+        }
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Number of completed laps.
+    pub fn laps(&self) -> u32 {
+        self.laps
+    }
+
+    /// Mean lap duration (zero if no laps completed).
+    pub fn mean_lap(&self) -> Duration {
+        if self.laps == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.laps
+        }
+    }
+
+    /// Times a closure as one lap and returns its output.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.start();
+        let out = f();
+        self.stop();
+        out
+    }
+}
+
+/// A cost sample for one FL configuration: the three Table 3 columns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CostSample {
+    /// Mean client-side training duration per FL round, in seconds.
+    pub client_train_s: f64,
+    /// Mean server-side aggregation duration per round, in seconds.
+    pub server_agg_s: f64,
+    /// Peak extra tensor memory on the client during a round, in bytes.
+    pub client_peak_mem_bytes: u64,
+}
+
+impl CostSample {
+    /// Relative overhead of `self` against a `baseline` sample, as the three
+    /// Table 3 percentages (client time, aggregation time, memory).
+    ///
+    /// A zero baseline component yields 0% for that component.
+    pub fn overhead_vs(&self, baseline: &CostSample) -> CostOverhead {
+        fn pct(x: f64, base: f64) -> f64 {
+            if base <= 0.0 {
+                0.0
+            } else {
+                (x / base - 1.0) * 100.0
+            }
+        }
+        CostOverhead {
+            client_train_pct: pct(self.client_train_s, baseline.client_train_s),
+            server_agg_pct: pct(self.server_agg_s, baseline.server_agg_s),
+            client_mem_pct: pct(
+                self.client_peak_mem_bytes as f64,
+                baseline.client_peak_mem_bytes as f64,
+            ),
+        }
+    }
+}
+
+/// Percentage overheads relative to the undefended FL baseline (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CostOverhead {
+    /// Client training-time overhead in percent.
+    pub client_train_pct: f64,
+    /// Server aggregation-time overhead in percent.
+    pub server_agg_pct: f64,
+    /// Client memory overhead in percent.
+    pub client_mem_pct: f64,
+}
+
+/// Measures a closure's wall-clock time and peak extra tensor memory.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration, u64) {
+    let scope = MemoryScope::enter();
+    let t0 = Instant::now();
+    let out = f();
+    let elapsed = t0.elapsed();
+    (out, elapsed, scope.peak_extra_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_tensor::Tensor;
+
+    #[test]
+    fn stopwatch_accumulates_laps() {
+        let mut sw = Stopwatch::new();
+        sw.time(|| std::thread::sleep(Duration::from_millis(5)));
+        sw.time(|| std::thread::sleep(Duration::from_millis(5)));
+        assert_eq!(sw.laps(), 2);
+        assert!(sw.total() >= Duration::from_millis(10));
+        assert!(sw.mean_lap() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut sw = Stopwatch::new();
+        sw.stop();
+        assert_eq!(sw.laps(), 0);
+        assert_eq!(sw.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn measure_reports_memory() {
+        let (_, _, peak) = measure(|| {
+            let _t = Tensor::zeros(&[10_000]);
+        });
+        assert!(peak >= 40_000);
+    }
+
+    #[test]
+    fn overhead_percentages() {
+        let base = CostSample {
+            client_train_s: 1.0,
+            server_agg_s: 0.1,
+            client_peak_mem_bytes: 1000,
+        };
+        let defended = CostSample {
+            client_train_s: 1.35,
+            server_agg_s: 3.1,
+            client_peak_mem_bytes: 3570,
+        };
+        let o = defended.overhead_vs(&base);
+        assert!((o.client_train_pct - 35.0).abs() < 1e-9);
+        assert!((o.server_agg_pct - 3000.0).abs() < 1e-9);
+        assert!((o.client_mem_pct - 257.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_overhead_is_zero() {
+        let base = CostSample::default();
+        let x = CostSample {
+            client_train_s: 5.0,
+            server_agg_s: 5.0,
+            client_peak_mem_bytes: 5,
+        };
+        let o = x.overhead_vs(&base);
+        assert_eq!(o.client_train_pct, 0.0);
+        assert_eq!(o.client_mem_pct, 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # dinar-metrics
+//!
+//! Evaluation metrics for the DINAR reproduction, mirroring Appendix A of
+//! the paper:
+//!
+//! * **Attack AUC** ([`roc`]) — the paper's privacy metric: the area under
+//!   the ROC curve of the binary member/non-member classifier implementing
+//!   the MIA. 50% is the optimum a defense can reach (random attacker);
+//!   100% is a perfect attacker.
+//! * **Jensen–Shannon divergence over histograms** ([`histogram`]) — the
+//!   generalization-gap measure of §3 used to rank layers by privacy
+//!   sensitivity (Fig. 1/4).
+//! * **Cost tracking** ([`cost`]) — wall-clock stopwatches and tensor-memory
+//!   scopes behind the Table 3 overhead columns.
+//! * **Summary statistics** ([`stats`]) — means, standard deviations and
+//!   quantiles used across the experiment reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod cost;
+pub mod histogram;
+pub mod roc;
+pub mod stats;
+
+pub use histogram::{js_divergence, Histogram};
+pub use roc::attack_auc;

@@ -1,0 +1,56 @@
+//! Weight initialization schemes.
+//!
+//! Matches the PyTorch defaults the paper's prototype inherits: Kaiming/He
+//! fan-in initialization for ReLU networks (conv + ResNet/VGG/M18) and
+//! Xavier/Glorot for the Tanh fully-connected networks (Purchase100 /
+//! Texas100).
+
+use dinar_tensor::{Rng, Tensor};
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// Recommended for layers followed by ReLU.
+pub fn he_normal(rng: &mut Rng, shape: &[usize], fan_in: usize) -> Tensor {
+    let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
+    rng.randn_with(shape, 0.0, std_dev)
+}
+
+/// Xavier (Glorot) uniform initialization:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+///
+/// Recommended for layers followed by Tanh.
+pub fn xavier_uniform(rng: &mut Rng, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    rng.rand_uniform(shape, -bound, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_std_scales_with_fan_in() {
+        let mut rng = Rng::seed_from(0);
+        let wide = he_normal(&mut rng, &[10_000], 10_000);
+        let narrow = he_normal(&mut rng, &[10_000], 4);
+        let std = |t: &Tensor| {
+            let m = t.mean();
+            (t.as_slice().iter().map(|x| (x - m).powi(2)).sum::<f32>() / t.len() as f32).sqrt()
+        };
+        let expected_wide = (2.0f32 / 10_000.0).sqrt();
+        let expected_narrow = (2.0f32 / 4.0).sqrt();
+        assert!((std(&wide) - expected_wide).abs() / expected_wide < 0.1);
+        assert!((std(&narrow) - expected_narrow).abs() / expected_narrow < 0.1);
+    }
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let mut rng = Rng::seed_from(1);
+        let t = xavier_uniform(&mut rng, &[5_000], 100, 50);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(t.as_slice().iter().all(|&x| x.abs() <= bound));
+        // Roughly fills the interval rather than clustering at zero.
+        assert!(t.max().unwrap() > 0.8 * bound);
+        assert!(t.min().unwrap() < -0.8 * bound);
+    }
+}

@@ -1,0 +1,169 @@
+//! Checkpointing: persist and restore model parameter state.
+//!
+//! Cross-silo deployments checkpoint the global model between rounds and
+//! exchange serialized parameters over the wire. [`ModelParams`] is fully
+//! `serde`-serializable; these helpers add a versioned JSON envelope with an
+//! architecture fingerprint so that loading into a mismatched model fails
+//! loudly instead of silently misassigning tensors.
+
+use crate::{ModelParams, NnError, Result};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Envelope format version.
+const VERSION: u32 = 1;
+
+/// A serialized checkpoint: parameters plus an architecture fingerprint.
+#[derive(Debug, Serialize, Deserialize)]
+struct Checkpoint {
+    version: u32,
+    fingerprint: Vec<Vec<Vec<usize>>>,
+    params: ModelParams,
+}
+
+/// Shape fingerprint of a parameter set: per layer, per tensor, the shape.
+fn fingerprint(params: &ModelParams) -> Vec<Vec<Vec<usize>>> {
+    params
+        .layers
+        .iter()
+        .map(|l| l.tensors.iter().map(|t| t.shape().to_vec()).collect())
+        .collect()
+}
+
+/// Serializes parameters to a JSON string.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] if serialization fails (practically
+/// impossible for in-memory parameters).
+pub fn to_json(params: &ModelParams) -> Result<String> {
+    let checkpoint = Checkpoint {
+        version: VERSION,
+        fingerprint: fingerprint(params),
+        params: params.clone(),
+    };
+    serde_json::to_string(&checkpoint).map_err(|e| NnError::InvalidConfig {
+        reason: format!("checkpoint serialization failed: {e}"),
+    })
+}
+
+/// Deserializes parameters from a JSON string, verifying the envelope.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for malformed JSON or an unsupported
+/// version, and [`NnError::ParamShapeMismatch`] if the payload's tensors do
+/// not match its own fingerprint (a corrupted or tampered checkpoint).
+pub fn from_json(json: &str) -> Result<ModelParams> {
+    let checkpoint: Checkpoint =
+        serde_json::from_str(json).map_err(|e| NnError::InvalidConfig {
+            reason: format!("malformed checkpoint: {e}"),
+        })?;
+    if checkpoint.version != VERSION {
+        return Err(NnError::InvalidConfig {
+            reason: format!(
+                "unsupported checkpoint version {} (expected {VERSION})",
+                checkpoint.version
+            ),
+        });
+    }
+    if fingerprint(&checkpoint.params) != checkpoint.fingerprint {
+        return Err(NnError::ParamShapeMismatch {
+            reason: "checkpoint fingerprint does not match its tensors".into(),
+        });
+    }
+    Ok(checkpoint.params)
+}
+
+/// Saves parameters to a file.
+///
+/// # Errors
+///
+/// Propagates serialization errors; I/O failures surface as
+/// [`NnError::InvalidConfig`] with the path in the message.
+pub fn save(params: &ModelParams, path: impl AsRef<Path>) -> Result<()> {
+    let json = to_json(params)?;
+    fs::write(path.as_ref(), json).map_err(|e| NnError::InvalidConfig {
+        reason: format!("cannot write checkpoint {}: {e}", path.as_ref().display()),
+    })
+}
+
+/// Loads parameters from a file.
+///
+/// # Errors
+///
+/// Same conditions as [`from_json`], plus I/O failures as
+/// [`NnError::InvalidConfig`].
+pub fn load(path: impl AsRef<Path>) -> Result<ModelParams> {
+    let json = fs::read_to_string(path.as_ref()).map_err(|e| NnError::InvalidConfig {
+        reason: format!("cannot read checkpoint {}: {e}", path.as_ref().display()),
+    })?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{self, Activation};
+    use dinar_tensor::Rng;
+
+    fn params() -> ModelParams {
+        let mut rng = Rng::seed_from(7);
+        models::mlp(&[4, 6, 3], Activation::Tanh, &mut rng)
+            .unwrap()
+            .params()
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let original = params();
+        let json = to_json(&original).unwrap();
+        let restored = from_json(&json).unwrap();
+        assert_eq!(original, restored);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("dinar-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let original = params();
+        save(&original, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(original, restored);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn restored_params_install_into_matching_model() {
+        let mut rng = Rng::seed_from(7);
+        let mut model = models::mlp(&[4, 6, 3], Activation::Tanh, &mut rng).unwrap();
+        let json = to_json(&params()).unwrap();
+        let restored = from_json(&json).unwrap();
+        model.set_params(&restored).unwrap();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            from_json("{not json"),
+            Err(NnError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let json = to_json(&params()).unwrap().replace("\"version\":1", "\"version\":99");
+        assert!(matches!(
+            from_json(&json),
+            Err(NnError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = load("/nonexistent/dinar.ckpt").unwrap_err();
+        assert!(err.to_string().contains("nonexistent"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Loss functions.
+//!
+//! Besides the batch-mean loss and gradient used for training, this module
+//! exposes **per-sample** losses and softmax probability vectors: the
+//! membership-inference attacks of the paper consume exactly these (the
+//! loss-threshold attack compares per-sample losses, the shadow-model attack
+//! classifies softmax confidence vectors), and Fig. 3 plots their
+//! distributions.
+
+use crate::{NnError, Result};
+use dinar_tensor::Tensor;
+
+/// Row-wise numerically stable softmax.
+///
+/// # Errors
+///
+/// Returns an error if `logits` is not rank-2.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    let rows = logits.nrows()?;
+    let cols = logits.ncols()?;
+    let mut out = logits.clone();
+    let data = out.as_mut_slice();
+    for i in 0..rows {
+        let row = &mut data[i * cols..(i + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+/// Categorical cross-entropy on logits (softmax + negative log-likelihood).
+///
+/// # Example
+///
+/// ```
+/// use dinar_nn::loss::CrossEntropyLoss;
+/// use dinar_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![5.0, 0.0, 0.0, 5.0], &[2, 2])?;
+/// let (loss, grad) = CrossEntropyLoss.loss_and_grad(&logits, &[0, 1])?;
+/// assert!(loss < 0.1); // confident and correct
+/// assert_eq!(grad.shape(), &[2, 2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    fn check(&self, logits: &Tensor, labels: &[usize]) -> Result<(usize, usize)> {
+        let rows = logits.nrows()?;
+        let cols = logits.ncols()?;
+        if labels.len() != rows {
+            return Err(NnError::LabelMismatch {
+                batch: rows,
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= cols) {
+            return Err(NnError::LabelOutOfRange {
+                label: bad,
+                classes: cols,
+            });
+        }
+        Ok((rows, cols))
+    }
+
+    /// Per-sample negative log-likelihoods.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LabelMismatch`] or [`NnError::LabelOutOfRange`] for
+    /// inconsistent labels.
+    pub fn per_sample(&self, logits: &Tensor, labels: &[usize]) -> Result<Vec<f32>> {
+        let (rows, cols) = self.check(logits, labels)?;
+        let probs = softmax_rows(logits)?;
+        let p = probs.as_slice();
+        let mut losses = Vec::with_capacity(rows);
+        for (i, &label) in labels.iter().enumerate() {
+            losses.push(-(p[i * cols + label].max(1e-12)).ln());
+        }
+        Ok(losses)
+    }
+
+    /// Batch-mean loss and the gradient with respect to the logits.
+    ///
+    /// The gradient is `(softmax(logits) - onehot(labels)) / batch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::LabelMismatch`] or [`NnError::LabelOutOfRange`] for
+    /// inconsistent labels.
+    pub fn loss_and_grad(&self, logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+        let (rows, cols) = self.check(logits, labels)?;
+        let mut grad = softmax_rows(logits)?;
+        let mut loss = 0.0f64;
+        {
+            let g = grad.as_mut_slice();
+            for (i, &label) in labels.iter().enumerate() {
+                loss -= (g[i * cols + label].max(1e-12) as f64).ln();
+                g[i * cols + label] -= 1.0;
+            }
+        }
+        grad.scale_inplace(1.0 / rows as f32);
+        Ok(((loss / rows as f64) as f32, grad))
+    }
+}
+
+/// Mean-squared-error loss (used by unit tests and the attack-model trainer).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Batch-mean squared error and gradient with respect to predictions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error if shapes differ.
+    pub fn loss_and_grad(&self, pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+        let diff = pred.sub(target)?;
+        let n = diff.len().max(1) as f32;
+        let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+        let grad = diff.mul_scalar(2.0 / n);
+        Ok((loss, grad))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dinar_tensor::Rng;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Rng::seed_from(0);
+        let logits = rng.randn_with(&[4, 7], 0.0, 10.0);
+        let p = softmax_rows(&logits).unwrap();
+        for i in 0..4 {
+            let row_sum: f32 = (0..7).map(|j| p.get(&[i, j]).unwrap()).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+            assert!((0..7).all(|j| p.get(&[i, j]).unwrap() >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_stable_under_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 999.0], &[1, 2]).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        assert!(p.as_slice().iter().all(|x| x.is_finite()));
+        assert!(p.as_slice()[0] > p.as_slice()[1]);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c_loss() {
+        let logits = Tensor::zeros(&[3, 4]);
+        let (loss, _) = CrossEntropyLoss.loss_and_grad(&logits, &[0, 1, 2]).unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = Rng::seed_from(1);
+        let logits = rng.randn(&[2, 3]);
+        let labels = [2usize, 0];
+        let (f0, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut l2 = logits.clone();
+                let old = l2.get(&[i, j]).unwrap();
+                l2.set(&[i, j], old + eps).unwrap();
+                let (f1, _) = CrossEntropyLoss.loss_and_grad(&l2, &labels).unwrap();
+                let numeric = (f1 - f0) / eps;
+                let analytic = grad.get(&[i, j]).unwrap();
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "grad[{i},{j}] numeric={numeric} analytic={analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_sample_mean_equals_batch_loss() {
+        let mut rng = Rng::seed_from(2);
+        let logits = rng.randn(&[5, 4]);
+        let labels = [0usize, 1, 2, 3, 0];
+        let per = CrossEntropyLoss.per_sample(&logits, &labels).unwrap();
+        let (batch, _) = CrossEntropyLoss.loss_and_grad(&logits, &labels).unwrap();
+        let mean = per.iter().sum::<f32>() / per.len() as f32;
+        assert!((mean - batch).abs() < 1e-5);
+    }
+
+    #[test]
+    fn label_validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            CrossEntropyLoss.loss_and_grad(&logits, &[0]),
+            Err(NnError::LabelMismatch { .. })
+        ));
+        assert!(matches!(
+            CrossEntropyLoss.loss_and_grad(&logits, &[0, 3]),
+            Err(NnError::LabelOutOfRange { label: 3, classes: 3 })
+        ));
+    }
+
+    #[test]
+    fn mse_basic() {
+        let pred = Tensor::from_slice(&[1.0, 2.0]);
+        let target = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = MseLoss.loss_and_grad(&pred, &target).unwrap();
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Pooling layers: max pooling (VGG11, M18) and global average pooling
+//! (ResNet20 head).
+
+use crate::{Layer, NnError, Result};
+use dinar_tensor::Tensor;
+
+/// Non-overlapping 2-D max pooling over `[n, c, h, w]` inputs.
+///
+/// Kernel and stride are equal (the configuration used by VGG-style
+/// networks). Input height/width must be divisible by the kernel.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    cached: Option<MaxPoolCache>,
+}
+
+#[derive(Debug)]
+struct MaxPoolCache {
+    input_shape: Vec<usize>,
+    /// Flat input index of the max element for every output element.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer with the given kernel (= stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pooling kernel must be positive");
+        MaxPool2d { kernel, cached: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let shape = input.shape();
+        if shape.len() != 4 || shape[2] % self.kernel != 0 || shape[3] % self.kernel != 0 {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "maxpool2d(k={}) requires [n, c, h, w] with h, w divisible by k; got {shape:?}",
+                    self.kernel
+                ),
+            });
+        }
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let k = self.kernel;
+        let (oh, ow) = (h / k, w / k);
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for i in 0..n {
+            for ch in 0..c {
+                let plane = (i * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best_idx = plane + (oy * k) * w + ox * k;
+                        let mut best = x[best_idx];
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let idx = plane + (oy * k + ky) * w + ox * k + kx;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let o = ((i * c + ch) * oh + oy) * ow + ox;
+                        out[o] = best;
+                        argmax[o] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached = Some(MaxPoolCache {
+            input_shape: shape.to_vec(),
+            argmax,
+        });
+        Ok(Tensor::from_vec(out, &[n, c, oh, ow])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cached
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "maxpool2d" })?;
+        let mut grad_in = Tensor::zeros(&cache.input_shape);
+        let gi = grad_in.as_mut_slice();
+        for (o, &idx) in cache.argmax.iter().enumerate() {
+            gi[idx] += grad_output.as_slice()[o];
+        }
+        Ok(grad_in)
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached = None;
+    }
+}
+
+/// Non-overlapping 1-D max pooling over `[n, c, len]` inputs (M18).
+#[derive(Debug)]
+pub struct MaxPool1d {
+    kernel: usize,
+    cached: Option<MaxPoolCache>,
+}
+
+impl MaxPool1d {
+    /// Creates a 1-D max-pooling layer with the given kernel (= stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(kernel: usize) -> Self {
+        assert!(kernel > 0, "pooling kernel must be positive");
+        MaxPool1d { kernel, cached: None }
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let shape = input.shape();
+        if shape.len() != 3 || shape[2] % self.kernel != 0 {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "maxpool1d(k={}) requires [n, c, len] with len divisible by k; got {shape:?}",
+                    self.kernel
+                ),
+            });
+        }
+        let (n, c, l) = (shape[0], shape[1], shape[2]);
+        let k = self.kernel;
+        let ol = l / k;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c * ol];
+        let mut argmax = vec![0usize; n * c * ol];
+        for i in 0..n {
+            for ch in 0..c {
+                let line = (i * c + ch) * l;
+                for o in 0..ol {
+                    let mut best_idx = line + o * k;
+                    let mut best = x[best_idx];
+                    for kk in 1..k {
+                        let idx = line + o * k + kk;
+                        if x[idx] > best {
+                            best = x[idx];
+                            best_idx = idx;
+                        }
+                    }
+                    let oidx = (i * c + ch) * ol + o;
+                    out[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+        self.cached = Some(MaxPoolCache {
+            input_shape: shape.to_vec(),
+            argmax,
+        });
+        Ok(Tensor::from_vec(out, &[n, c, ol])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cached
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "maxpool1d" })?;
+        let mut grad_in = Tensor::zeros(&cache.input_shape);
+        let gi = grad_in.as_mut_slice();
+        for (o, &idx) in cache.argmax.iter().enumerate() {
+            gi[idx] += grad_output.as_slice()[o];
+        }
+        Ok(grad_in)
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool1d"
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached = None;
+    }
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]` or `[n, c, len]` → `[n, c]`.
+///
+/// Used as the ResNet20 and M18 heads before the final classifier.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor> {
+        let shape = input.shape();
+        if shape.len() < 3 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("global average pool requires [n, c, ...], got {shape:?}"),
+            });
+        }
+        let (n, c) = (shape[0], shape[1]);
+        let spatial: usize = shape[2..].iter().product();
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * spatial;
+                out[i * c + ch] = x[base..base + spatial].iter().sum::<f32>() / spatial as f32;
+            }
+        }
+        self.cached_shape = Some(shape.to_vec());
+        Ok(Tensor::from_vec(out, &[n, c])?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward { layer: "global_avg_pool" })?;
+        let (n, c) = (shape[0], shape[1]);
+        let spatial: usize = shape[2..].iter().product();
+        let mut grad_in = Tensor::zeros(shape);
+        let gi = grad_in.as_mut_slice();
+        let g = grad_output.as_slice();
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * spatial;
+                let v = g[i * c + ch] / spatial as f32;
+                for s in 0..spatial {
+                    gi[base + s] = v;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool"
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_shape = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool2d_picks_maxima() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 1.0, 1.0, 1.0, //
+                1.0, 1.0, 1.0, 2.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 9.0, 2.0]);
+    }
+
+    #[test]
+    fn maxpool2d_backward_routes_gradient_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        pool.forward(&x, true).unwrap();
+        let gx = pool
+            .backward(&Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn maxpool2d_rejects_indivisible_input() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::zeros(&[1, 1, 3, 4]);
+        assert!(pool.forward(&x, true).is_err());
+    }
+
+    #[test]
+    fn maxpool1d_basic() {
+        let mut pool = MaxPool1d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], &[1, 1, 4]).unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[5.0, 3.0]);
+        let gx = pool
+            .backward(&Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 2]).unwrap())
+            .unwrap();
+        assert_eq!(gx.as_slice(), &[0.0, 1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_averages_and_distributes() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[1, 1]);
+        assert_eq!(y.as_slice(), &[4.0]);
+        let gx = pool
+            .backward(&Tensor::from_vec(vec![8.0], &[1, 1]).unwrap())
+            .unwrap();
+        assert_eq!(gx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_works_on_1d() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[2, 1, 2]).unwrap();
+        let y = pool.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 1]);
+        assert_eq!(y.as_slice(), &[3.0, 7.0]);
+    }
+}

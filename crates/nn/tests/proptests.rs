@@ -1,0 +1,119 @@
+//! Property-based tests of the network substrate: gradient linearity,
+//! parameter round-trips, loss bounds.
+
+use dinar_nn::loss::{softmax_rows, CrossEntropyLoss};
+use dinar_nn::models::{self, Activation};
+use dinar_nn::optim::{Optimizer, Sgd};
+use dinar_tensor::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Softmax rows are probability vectors for any logits.
+    #[test]
+    fn softmax_always_normalizes(rows in 1usize..6, cols in 1usize..8, scale in 0.1f32..50.0, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let logits = rng.randn_with(&[rows, cols], 0.0, scale);
+        let p = softmax_rows(&logits).unwrap();
+        for i in 0..rows {
+            let row_sum: f32 = (0..cols).map(|j| p.get(&[i, j]).unwrap()).sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Cross-entropy is non-negative and per-sample losses average to the
+    /// batch loss, for any logits/labels.
+    #[test]
+    fn cross_entropy_consistency(rows in 1usize..8, cols in 2usize..6, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let logits = rng.randn_with(&[rows, cols], 0.0, 3.0);
+        let labels: Vec<usize> = (0..rows).map(|_| rng.below(cols)).collect();
+        let (batch, _) = CrossEntropyLoss.loss_and_grad(&logits, &labels).unwrap();
+        prop_assert!(batch >= 0.0);
+        let per = CrossEntropyLoss.per_sample(&logits, &labels).unwrap();
+        let mean = per.iter().sum::<f32>() / rows as f32;
+        prop_assert!((mean - batch).abs() < 1e-4);
+    }
+
+    /// Each row of the cross-entropy gradient (softmax - onehot) sums to 0.
+    #[test]
+    fn ce_gradient_rows_sum_to_zero(rows in 1usize..6, cols in 2usize..6, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let logits = rng.randn(&[rows, cols]);
+        let labels: Vec<usize> = (0..rows).map(|_| rng.below(cols)).collect();
+        let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels).unwrap();
+        for i in 0..rows {
+            let row_sum: f32 = (0..cols).map(|j| grad.get(&[i, j]).unwrap()).sum();
+            prop_assert!(row_sum.abs() < 1e-5);
+        }
+    }
+
+    /// Model params round-trip exactly through get/set for random MLPs.
+    #[test]
+    fn params_roundtrip(inputs in 1usize..6, hidden in 1usize..8, classes in 2usize..5, seed in 0u64..500) {
+        let mut rng = Rng::seed_from(seed);
+        let mut model = models::mlp(&[inputs, hidden, classes], Activation::Tanh, &mut rng).unwrap();
+        let original = model.params();
+        let mut perturbed = original.clone();
+        perturbed.map_inplace(|x| x * 2.0 + 1.0);
+        model.set_params(&perturbed).unwrap();
+        model.set_params(&original).unwrap();
+        prop_assert!(model.params().max_abs_diff(&original).unwrap() < 1e-9);
+    }
+
+    /// Backward pass is linear in the output gradient:
+    /// backward(a·g) accumulates a·backward(g).
+    #[test]
+    fn backward_is_linear(seed in 0u64..500, a in 0.1f32..4.0) {
+        let mut rng = Rng::seed_from(seed);
+        let mut model = models::mlp(&[3, 5, 2], Activation::Tanh, &mut rng).unwrap();
+        let x = rng.randn(&[4, 3]);
+        let g = rng.randn(&[4, 2]);
+
+        model.forward(&x, true).unwrap();
+        model.zero_grad();
+        model.backward(&g).unwrap();
+        let base: Vec<f32> = model
+            .layer_gradients()
+            .iter()
+            .flat_map(|l| l.to_flat())
+            .collect();
+
+        model.forward(&x, true).unwrap();
+        model.zero_grad();
+        model.backward(&g.mul_scalar(a)).unwrap();
+        let scaled: Vec<f32> = model
+            .layer_gradients()
+            .iter()
+            .flat_map(|l| l.to_flat())
+            .collect();
+
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((b * a - s).abs() < 1e-3 * (1.0 + s.abs()));
+        }
+    }
+
+    /// One SGD step moves parameters exactly opposite to the gradient.
+    #[test]
+    fn sgd_step_is_exact(seed in 0u64..500, lr in 0.001f32..0.5) {
+        let mut rng = Rng::seed_from(seed);
+        let mut model = models::mlp(&[2, 4, 2], Activation::ReLU, &mut rng).unwrap();
+        let x = rng.randn(&[3, 2]);
+        let g = rng.randn(&[3, 2]);
+        model.forward(&x, true).unwrap();
+        model.zero_grad();
+        model.backward(&g).unwrap();
+        let before = model.params().to_flat();
+        let grads: Vec<f32> = model
+            .layer_gradients()
+            .iter()
+            .flat_map(|l| l.to_flat())
+            .collect();
+        Sgd::new(lr).step(&mut model).unwrap();
+        let after = model.params().to_flat();
+        for ((b, a), gr) in before.iter().zip(&after).zip(&grads) {
+            prop_assert!((b - lr * gr - a).abs() < 1e-5 * (1.0 + a.abs()));
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! `im2col`/`col2im` lowering for convolutions.
+//!
+//! The CNN architectures of the paper (ResNet20 for CIFAR, VGG11 for
+//! GTSRB/CelebA, M18 for Speech Commands) are built on 2-D and 1-D
+//! convolutions. As in most CPU deep-learning stacks, convolution is lowered
+//! to matrix multiplication: [`im2col2d`] unfolds input patches into the rows
+//! of a matrix so the convolution becomes one `matmul` against the flattened
+//! kernel bank, and [`col2im2d`] folds gradient columns back onto the input
+//! for the backward pass. [`im2col1d`]/[`col2im1d`] are the waveform (audio)
+//! counterparts.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeom {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl Conv2dGeom {
+    /// Output spatial size `(out_h, out_w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConv`] if the kernel does not fit in the
+    /// padded input or the stride is zero.
+    pub fn output_size(&self) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidConv {
+                reason: "stride must be positive".into(),
+            });
+        }
+        let ph = self.height + 2 * self.padding;
+        let pw = self.width + 2 * self.padding;
+        if self.kernel_h == 0 || self.kernel_w == 0 || self.kernel_h > ph || self.kernel_w > pw {
+            return Err(TensorError::InvalidConv {
+                reason: format!(
+                    "kernel {}x{} does not fit padded input {}x{}",
+                    self.kernel_h, self.kernel_w, ph, pw
+                ),
+            });
+        }
+        Ok((
+            (ph - self.kernel_h) / self.stride + 1,
+            (pw - self.kernel_w) / self.stride + 1,
+        ))
+    }
+
+    /// Number of elements in one unfolded patch (`C * kh * kw`).
+    pub fn patch_len(&self) -> usize {
+        self.channels * self.kernel_h * self.kernel_w
+    }
+}
+
+/// Unfolds a batched image tensor into patch rows.
+///
+/// `input` must have shape `[n, c, h, w]`. The result has shape
+/// `[n * out_h * out_w, c * kh * kw]`: row `(i, oy, ox)` holds the receptive
+/// field of output pixel `(oy, ox)` of sample `i`, so that
+/// `cols.matmul_t(kernels)` (with `kernels` of shape
+/// `[out_c, c * kh * kw]`) computes the convolution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not match the
+/// geometry, or [`TensorError::InvalidConv`] for invalid geometry.
+pub fn im2col2d(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
+    let (oh, ow) = geom.output_size()?;
+    let shape = input.shape();
+    if shape.len() != 4 || shape[1] != geom.channels || shape[2] != geom.height || shape[3] != geom.width {
+        return Err(TensorError::ShapeMismatch {
+            lhs: shape.to_vec(),
+            rhs: vec![0, geom.channels, geom.height, geom.width],
+            op: "im2col2d",
+        });
+    }
+    let n = shape[0];
+    let (c, h, w) = (geom.channels, geom.height, geom.width);
+    let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
+    let patch = geom.patch_len();
+    let mut out = vec![0.0f32; n * oh * ow * patch];
+    let x = input.as_slice();
+    for i in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((i * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let src = ((i * c + ch) * h + iy as usize) * w + ix as usize;
+                            let dst = row + (ch * kh + ky) * kw + kx;
+                            out[dst] = x[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * oh * ow, patch])
+}
+
+/// Folds patch-row gradients back onto the input (the adjoint of
+/// [`im2col2d`]).
+///
+/// `cols` must have shape `[n * out_h * out_w, c * kh * kw]`; the result has
+/// shape `[n, c, h, w]`, with overlapping patches accumulated.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not match the
+/// geometry, or [`TensorError::InvalidConv`] for invalid geometry.
+pub fn col2im2d(cols: &Tensor, n: usize, geom: &Conv2dGeom) -> Result<Tensor> {
+    let (oh, ow) = geom.output_size()?;
+    let patch = geom.patch_len();
+    if cols.shape() != [n * oh * ow, patch] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.shape().to_vec(),
+            rhs: vec![n * oh * ow, patch],
+            op: "col2im2d",
+        });
+    }
+    let (c, h, w) = (geom.channels, geom.height, geom.width);
+    let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
+    let mut out = vec![0.0f32; n * c * h * w];
+    let g = cols.as_slice();
+    for i in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((i * oh + oy) * ow + ox) * patch;
+                for ch in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * s + ky) as isize - p as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * s + kx) as isize - p as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let dst = ((i * c + ch) * h + iy as usize) * w + ix as usize;
+                            let src = row + (ch * kh + ky) * kw + kx;
+                            out[dst] += g[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+/// Geometry of a 1-D convolution over waveforms `[n, c, len]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv1dGeom {
+    /// Input channels.
+    pub channels: usize,
+    /// Input length.
+    pub len: usize,
+    /// Kernel length.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding on both ends.
+    pub padding: usize,
+}
+
+impl Conv1dGeom {
+    /// Output length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidConv`] if the kernel does not fit in the
+    /// padded input or the stride is zero.
+    pub fn output_len(&self) -> Result<usize> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidConv {
+                reason: "stride must be positive".into(),
+            });
+        }
+        let pl = self.len + 2 * self.padding;
+        if self.kernel == 0 || self.kernel > pl {
+            return Err(TensorError::InvalidConv {
+                reason: format!("kernel {} does not fit padded input {}", self.kernel, pl),
+            });
+        }
+        Ok((pl - self.kernel) / self.stride + 1)
+    }
+}
+
+/// 1-D analogue of [`im2col2d`]: unfolds `[n, c, len]` into
+/// `[n * out_len, c * kernel]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `input` does not match the
+/// geometry, or [`TensorError::InvalidConv`] for invalid geometry.
+pub fn im2col1d(input: &Tensor, geom: &Conv1dGeom) -> Result<Tensor> {
+    let ol = geom.output_len()?;
+    let shape = input.shape();
+    if shape.len() != 3 || shape[1] != geom.channels || shape[2] != geom.len {
+        return Err(TensorError::ShapeMismatch {
+            lhs: shape.to_vec(),
+            rhs: vec![0, geom.channels, geom.len],
+            op: "im2col1d",
+        });
+    }
+    let n = shape[0];
+    let (c, l, k, s, p) = (geom.channels, geom.len, geom.kernel, geom.stride, geom.padding);
+    let patch = c * k;
+    let mut out = vec![0.0f32; n * ol * patch];
+    let x = input.as_slice();
+    for i in 0..n {
+        for o in 0..ol {
+            let row = (i * ol + o) * patch;
+            for ch in 0..c {
+                for kk in 0..k {
+                    let idx = (o * s + kk) as isize - p as isize;
+                    if idx < 0 || idx >= l as isize {
+                        continue;
+                    }
+                    out[row + ch * k + kk] = x[(i * c + ch) * l + idx as usize];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n * ol, patch])
+}
+
+/// 1-D analogue of [`col2im2d`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `cols` does not match the
+/// geometry, or [`TensorError::InvalidConv`] for invalid geometry.
+pub fn col2im1d(cols: &Tensor, n: usize, geom: &Conv1dGeom) -> Result<Tensor> {
+    let ol = geom.output_len()?;
+    let patch = geom.channels * geom.kernel;
+    if cols.shape() != [n * ol, patch] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: cols.shape().to_vec(),
+            rhs: vec![n * ol, patch],
+            op: "col2im1d",
+        });
+    }
+    let (c, l, k, s, p) = (geom.channels, geom.len, geom.kernel, geom.stride, geom.padding);
+    let mut out = vec![0.0f32; n * c * l];
+    let g = cols.as_slice();
+    for i in 0..n {
+        for o in 0..ol {
+            let row = (i * ol + o) * patch;
+            for ch in 0..c {
+                for kk in 0..k {
+                    let idx = (o * s + kk) as isize - p as isize;
+                    if idx < 0 || idx >= l as isize {
+                        continue;
+                    }
+                    out[(i * c + ch) * l + idx as usize] += g[row + ch * k + kk];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, l])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeom {
+        Conv2dGeom {
+            channels: c,
+            height: h,
+            width: w,
+            kernel_h: k,
+            kernel_w: k,
+            stride: s,
+            padding: p,
+        }
+    }
+
+    #[test]
+    fn output_size_matches_formula() {
+        assert_eq!(geom(3, 8, 8, 3, 1, 1).output_size().unwrap(), (8, 8));
+        assert_eq!(geom(3, 8, 8, 3, 2, 1).output_size().unwrap(), (4, 4));
+        assert_eq!(geom(1, 5, 5, 5, 1, 0).output_size().unwrap(), (1, 1));
+    }
+
+    #[test]
+    fn invalid_geometry_errors() {
+        assert!(geom(1, 3, 3, 5, 1, 0).output_size().is_err());
+        assert!(geom(1, 3, 3, 3, 0, 0).output_size().is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel_1x1() {
+        // With a 1x1 kernel and stride 1, im2col is a pure reshape.
+        let g = geom(2, 3, 3, 1, 1, 0);
+        let x = Tensor::from_fn(&[1, 2, 3, 3], |i| i as f32);
+        let cols = im2col2d(&x, &g).unwrap();
+        assert_eq!(cols.shape(), &[9, 2]);
+        // Row 0 = pixel (0,0) of both channels.
+        assert_eq!(cols.get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(cols.get(&[0, 1]).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn conv_via_im2col_matches_direct_convolution() {
+        // 1 sample, 1 channel, 4x4 input, 3x3 kernel, stride 1, no padding.
+        let g = geom(1, 4, 4, 3, 1, 0);
+        let x = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let kernel = Tensor::from_fn(&[1, 9], |i| (i % 2) as f32); // alternating 0/1
+        let cols = im2col2d(&x, &g).unwrap();
+        let y = cols.matmul_t(&kernel).unwrap(); // [4, 1]
+        // Direct convolution.
+        for oy in 0..2 {
+            for ox in 0..2 {
+                let mut acc = 0.0;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        let kidx = ky * 3 + kx;
+                        let w = (kidx % 2) as f32;
+                        acc += w * ((oy + ky) * 4 + ox + kx) as f32;
+                    }
+                }
+                assert_eq!(y.get(&[oy * 2 + ox, 0]).unwrap(), acc);
+            }
+        }
+    }
+
+    #[test]
+    fn padding_zeroes_are_respected() {
+        let g = geom(1, 2, 2, 3, 1, 1);
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let cols = im2col2d(&x, &g).unwrap();
+        // Top-left output: only the bottom-right 2x2 of the kernel overlaps
+        // real pixels -> 4 ones, 5 zeros.
+        let first_row_sum: f32 = (0..9).map(|j| cols.get(&[0, j]).unwrap()).sum();
+        assert_eq!(first_row_sum, 4.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y: the defining
+        // property of an adjoint pair, which is exactly what backprop needs.
+        let g = geom(2, 5, 5, 3, 2, 1);
+        let mut rng = crate::Rng::seed_from(42);
+        let x = rng.randn(&[2, 2, 5, 5]);
+        let cols = im2col2d(&x, &g).unwrap();
+        let y = rng.randn(cols.shape());
+        let lhs = cols.dot(&y).unwrap();
+        let folded = col2im2d(&y, 2, &g).unwrap();
+        let rhs = x.dot(&folded).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3, "lhs={lhs} rhs={rhs}");
+    }
+
+    #[test]
+    fn im2col1d_basic() {
+        let g = Conv1dGeom {
+            channels: 1,
+            len: 5,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let x = Tensor::from_fn(&[1, 1, 5], |i| i as f32);
+        let cols = im2col1d(&x, &g).unwrap();
+        assert_eq!(cols.shape(), &[3, 3]);
+        assert_eq!(cols.as_slice(), &[0.0, 1.0, 2.0, 1.0, 2.0, 3.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn col2im1d_is_adjoint_of_im2col1d() {
+        let g = Conv1dGeom {
+            channels: 3,
+            len: 16,
+            kernel: 5,
+            stride: 2,
+            padding: 2,
+        };
+        let mut rng = crate::Rng::seed_from(7);
+        let x = rng.randn(&[2, 3, 16]);
+        let cols = im2col1d(&x, &g).unwrap();
+        let y = rng.randn(cols.shape());
+        let lhs = cols.dot(&y).unwrap();
+        let rhs = x.dot(&col2im1d(&y, 2, &g).unwrap()).unwrap();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let g = geom(3, 4, 4, 3, 1, 1);
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        assert!(im2col2d(&x, &g).is_err());
+        let bad_cols = Tensor::zeros(&[3, 3]);
+        assert!(col2im2d(&bad_cols, 1, &g).is_err());
+    }
+}

@@ -1,0 +1,948 @@
+use crate::{alloc, Result, TensorError};
+use serde::{Deserialize, Deserializer, Serialize};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// `Tensor` is the single numeric container used across the DINAR
+/// reproduction: model parameters, gradients, activations, dataset features
+/// and defense buffers are all tensors. The representation is deliberately
+/// simple — an owned `Vec<f32>` plus a shape — because the paper's workloads
+/// only require contiguous dense math.
+///
+/// Construction and cloning register the buffer size with the
+/// [`alloc`](crate::alloc) accounting module so that defense memory overheads
+/// (Table 3 of the paper) can be measured.
+///
+/// # Example
+///
+/// ```
+/// use dinar_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(x.shape(), &[2, 3]);
+/// assert_eq!(x.sum(), 21.0);
+/// # Ok::<(), dinar_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Serialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl<'de> Deserialize<'de> for Tensor {
+    /// Deserializes through [`Tensor::from_vec`] so the buffer participates
+    /// in the allocation accounting (a derived impl would construct the
+    /// fields directly and corrupt the live-bytes counter on drop).
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Raw {
+            data: Vec<f32>,
+            shape: Vec<usize>,
+        }
+        let raw = Raw::deserialize(deserializer)?;
+        Tensor::from_vec(raw.data, &raw.shape).map_err(serde::de::Error::custom)
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates a tensor from an owned buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the product of `shape`
+    /// does not equal `data.len()`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                shape: shape.to_vec(),
+                data_len: data.len(),
+            });
+        }
+        alloc::record_alloc((data.len() * 4) as u64);
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).expect("lengths match by construction")
+    }
+
+    /// Creates a tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let len = shape.iter().product();
+        Tensor::from_vec(vec![value; len], shape).expect("lengths match by construction")
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor::full(shape, 0.0)
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor with the same shape as `other`, filled with zeros.
+    pub fn zeros_like(other: &Tensor) -> Self {
+        Tensor::zeros(other.shape())
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let len = shape.iter().product();
+        let data = (0..len).map(&mut f).collect();
+        Tensor::from_vec(data, shape).expect("lengths match by construction")
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        alloc::record_dealloc((data.len() * 4) as u64);
+        data
+    }
+
+    /// Number of rows of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] if the tensor is not rank-2.
+    pub fn nrows(&self) -> Result<usize> {
+        self.expect_matrix("nrows").map(|(r, _)| r)
+    }
+
+    /// Number of columns of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] if the tensor is not rank-2.
+    pub fn ncols(&self) -> Result<usize> {
+        self.expect_matrix("ncols").map(|(_, c)| c)
+    }
+
+    fn expect_matrix(&self, op: &'static str) -> Result<(usize, usize)> {
+        match self.shape.as_slice() {
+            [r, c] => Ok((*r, *c)),
+            _ => Err(TensorError::NotAMatrix {
+                shape: self.shape.clone(),
+                op,
+            }),
+        }
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong rank
+    /// or any coordinate exceeds its dimension.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.flat_index(index)?])
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `index` is invalid.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let flat = self.flat_index(index)?;
+        self.data[flat] = value;
+        Ok(())
+    }
+
+    fn flat_index(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len()
+            || index.iter().zip(&self.shape).any(|(i, d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.shape.clone(),
+            });
+        }
+        let mut flat = 0;
+        for (i, d) in index.iter().zip(&self.shape) {
+            flat = flat * d + i;
+        }
+        Ok(flat)
+    }
+
+    // ------------------------------------------------------------------
+    // Shape manipulation
+    // ------------------------------------------------------------------
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidReshape`] if element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        if shape.iter().product::<usize>() != self.data.len() {
+            return Err(TensorError::InvalidReshape {
+                from: self.shape.clone(),
+                to: shape.to_vec(),
+            });
+        }
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Flattens to rank 1.
+    pub fn flatten(&self) -> Tensor {
+        self.reshape(&[self.data.len()])
+            .expect("flatten preserves element count")
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] if the tensor is not rank-2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        let (r, c) = self.expect_matrix("transpose")?;
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copies rows `[start, end)` of a rank-2 tensor into a new tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] for non-matrices and
+    /// [`TensorError::IndexOutOfBounds`] if the range is invalid.
+    pub fn rows(&self, start: usize, end: usize) -> Result<Tensor> {
+        let (r, c) = self.expect_matrix("rows")?;
+        if start > end || end > r {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![start, end],
+                shape: self.shape.clone(),
+            });
+        }
+        Tensor::from_vec(self.data[start * c..end * c].to_vec(), &[end - start, c])
+    }
+
+    /// Copies a single row of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::rows`].
+    pub fn row(&self, i: usize) -> Result<Tensor> {
+        let r = self.rows(i, i + 1)?;
+        Ok(r.flatten())
+    }
+
+    /// Gathers the given rows of a rank-2 tensor into a new matrix, in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] for non-matrices and
+    /// [`TensorError::IndexOutOfBounds`] if any row index is invalid.
+    pub fn gather_rows(&self, indices: &[usize]) -> Result<Tensor> {
+        let (r, c) = self.expect_matrix("gather_rows")?;
+        let mut data = Vec::with_capacity(indices.len() * c);
+        for &i in indices {
+            if i >= r {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: vec![i],
+                    shape: self.shape.clone(),
+                });
+            }
+            data.extend_from_slice(&self.data[i * c..(i + 1) * c]);
+        }
+        Tensor::from_vec(data, &[indices.len(), c])
+    }
+
+    /// Vertically stacks rank-2 tensors with equal column counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty input list,
+    /// [`TensorError::NotAMatrix`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] on differing column counts.
+    pub fn vstack(tensors: &[&Tensor]) -> Result<Tensor> {
+        let first = tensors.first().ok_or(TensorError::Empty { op: "vstack" })?;
+        let (_, c) = first.expect_matrix("vstack")?;
+        let mut rows = 0;
+        let mut data = Vec::new();
+        for t in tensors {
+            let (r, tc) = t.expect_matrix("vstack")?;
+            if tc != c {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape.clone(),
+                    rhs: t.shape.clone(),
+                    op: "vstack",
+                });
+            }
+            rows += r;
+            data.extend_from_slice(&t.data);
+        }
+        Tensor::from_vec(data, &[rows, c])
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ------------------------------------------------------------------
+
+    fn zip_check(&self, other: &Tensor, op: &'static str) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op,
+            });
+        }
+        Ok(())
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "mul", |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.zip_with(other, "div", |a, b| a / b)
+    }
+
+    /// Applies `f` to corresponding elements of `self` and `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_with(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
+        self.zip_check(other, op)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor::from_vec(data, &self.shape)
+    }
+
+    /// In-place elementwise sum: `self += other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.zip_check(other, "add_assign")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scaled sum: `self += alpha * other` (BLAS `axpy`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn scaled_add_assign(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.zip_check(other, "scaled_add_assign")?;
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns a new tensor with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor::from_vec(self.data.iter().map(|&x| f(x)).collect(), &self.shape)
+            .expect("map preserves length")
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Adds `s` to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(|x| x * s);
+    }
+
+    /// Adds a rank-1 bias to every row of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] if `self` is not rank-2 or
+    /// [`TensorError::ShapeMismatch`] if `bias.len()` differs from the column
+    /// count.
+    pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor> {
+        let (r, c) = self.expect_matrix("add_row_broadcast")?;
+        if bias.shape != [c] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: bias.shape.clone(),
+                op: "add_row_broadcast",
+            });
+        }
+        let mut out = self.clone();
+        for i in 0..r {
+            for j in 0..c {
+                out.data[i * c + j] += bias.data[j];
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// Uses an i-k-j loop order so the inner loop streams contiguously over
+    /// both the output row and the right-hand operand row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.expect_matrix("matmul")?;
+        let (k2, n) = other.expect_matrix("matmul")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op: "matmul",
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self * otherᵀ` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] if the column counts differ.
+    pub fn matmul_t(&self, other: &Tensor) -> Result<Tensor> {
+        let (m, k) = self.expect_matrix("matmul_t")?;
+        let (n, k2) = other.expect_matrix("matmul_t")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op: "matmul_t",
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `selfᵀ * other` without materializing the transpose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] for non-matrices and
+    /// [`TensorError::ShapeMismatch`] if the row counts differ.
+    pub fn t_matmul(&self, other: &Tensor) -> Result<Tensor> {
+        let (k, m) = self.expect_matrix("t_matmul")?;
+        let (k2, n) = other.expect_matrix("t_matmul")?;
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op: "t_matmul",
+            });
+        }
+        let mut out = Tensor::zeros(&[m, n]);
+        for p in 0..k {
+            let a_row = &self.data[p * m..(p + 1) * m];
+            let b_row = &other.data[p * n..(p + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Dot product of two tensors viewed as flat vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if element counts differ.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.data.len() != other.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+                op: "dot",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn max(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.max(x))))
+            .ok_or(TensorError::Empty { op: "max" })
+    }
+
+    /// Minimum element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Empty`] for an empty tensor.
+    pub fn min(&self) -> Result<f32> {
+        self.data
+            .iter()
+            .copied()
+            .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.min(x))))
+            .ok_or(TensorError::Empty { op: "min" })
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&x| x as f64 * x as f64)
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Column sums of a rank-2 tensor (shape `[ncols]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] if the tensor is not rank-2.
+    pub fn sum_rows(&self) -> Result<Tensor> {
+        let (r, c) = self.expect_matrix("sum_rows")?;
+        let mut out = Tensor::zeros(&[c]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j] += self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Index of the maximum element of each row of a rank-2 tensor.
+    ///
+    /// Ties resolve to the lowest index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NotAMatrix`] if the tensor is not rank-2.
+    pub fn argmax_rows(&self) -> Result<Vec<usize>> {
+        let (r, c) = self.expect_matrix("argmax_rows")?;
+        let mut out = Vec::with_capacity(r);
+        for i in 0..r {
+            let row = &self.data[i * c..(i + 1) * c];
+            let mut best = 0;
+            for (j, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = j;
+                }
+            }
+            out.push(best);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Comparison helpers
+    // ------------------------------------------------------------------
+
+    /// `true` if both tensors have the same shape and all elements differ by
+    /// at most `tol`.
+    pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        alloc::record_alloc((self.data.len() * 4) as u64);
+        Tensor {
+            data: self.data.clone(),
+            shape: self.shape.clone(),
+        }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        alloc::record_dealloc((self.data.len() * 4) as u64);
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape && self.data == other.data
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{}, {}, ... , {}]",
+                self.data[0],
+                self.data[1],
+                self.data[self.data.len() - 1]
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_shape() {
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(vec![1.0; 5], &[2, 3]),
+            Err(TensorError::ShapeDataMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = Tensor::from_fn(&[3, 4], |i| i as f32);
+        let b = Tensor::from_fn(&[5, 4], |i| (i as f32).sin());
+        let direct = a.matmul_t(&b).unwrap();
+        let via_transpose = a.matmul(&b.transpose().unwrap()).unwrap();
+        assert!(direct.approx_eq(&via_transpose, 1e-5));
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = Tensor::from_fn(&[4, 3], |i| (i as f32).cos());
+        let b = Tensor::from_fn(&[4, 5], |i| i as f32 * 0.5);
+        let direct = a.t_matmul(&b).unwrap();
+        let via_transpose = a.transpose().unwrap().matmul(&b).unwrap();
+        assert!(direct.approx_eq(&via_transpose, 1e-4));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_fn(&[3, 5], |i| i as f32);
+        assert_eq!(a.transpose().unwrap().transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(b.div(&a).unwrap().as_slice(), &[4.0, 2.5, 2.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn scaled_add_assign_is_axpy() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let b = Tensor::from_slice(&[2.0, 4.0]);
+        a.scaled_add_assign(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_row_broadcast_adds_bias_to_each_row() {
+        let x = Tensor::from_vec(vec![0.0; 6], &[2, 3]).unwrap();
+        let b = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = x.add_row_broadcast(&b).unwrap();
+        assert_eq!(y.as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_slice(&[3.0, -1.0, 2.0]);
+        assert_eq!(a.sum(), 4.0);
+        assert!((a.mean() - 4.0 / 3.0).abs() < 1e-6);
+        assert_eq!(a.max().unwrap(), 3.0);
+        assert_eq!(a.min().unwrap(), -1.0);
+        assert!((a.norm_l2() - 14.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_max_errors() {
+        let a = Tensor::zeros(&[0]);
+        assert!(matches!(a.max(), Err(TensorError::Empty { op: "max" })));
+    }
+
+    #[test]
+    fn sum_rows_sums_columns() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(a.sum_rows().unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_rows_ties_resolve_low() {
+        let a = Tensor::from_vec(vec![1.0, 1.0, 0.0, 5.0], &[2, 2]).unwrap();
+        assert_eq!(a.argmax_rows().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn rows_and_row_slicing() {
+        let a = Tensor::from_fn(&[4, 2], |i| i as f32);
+        let mid = a.rows(1, 3).unwrap();
+        assert_eq!(mid.shape(), &[2, 2]);
+        assert_eq!(mid.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a.row(3).unwrap().as_slice(), &[6.0, 7.0]);
+        assert!(a.rows(3, 5).is_err());
+    }
+
+    #[test]
+    fn gather_rows_reorders() {
+        let a = Tensor::from_fn(&[3, 2], |i| i as f32);
+        let g = a.gather_rows(&[2, 0]).unwrap();
+        assert_eq!(g.as_slice(), &[4.0, 5.0, 0.0, 1.0]);
+        assert!(a.gather_rows(&[3]).is_err());
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Tensor::from_fn(&[1, 2], |i| i as f32);
+        let b = Tensor::from_fn(&[2, 2], |i| 10.0 + i as f32);
+        let s = Tensor::vstack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.as_slice(), &[0.0, 1.0, 10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn vstack_rejects_mismatched_columns() {
+        let a = Tensor::zeros(&[1, 2]);
+        let b = Tensor::zeros(&[1, 3]);
+        assert!(Tensor::vstack(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let a = Tensor::from_fn(&[2, 6], |i| i as f32);
+        let b = a.reshape(&[3, 4]).unwrap();
+        assert_eq!(b.shape(), &[3, 4]);
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert!(a.reshape(&[5, 5]).is_err());
+    }
+
+    #[test]
+    fn get_set_multi_index() {
+        let mut a = Tensor::zeros(&[2, 3, 4]);
+        a.set(&[1, 2, 3], 7.0).unwrap();
+        assert_eq!(a.get(&[1, 2, 3]).unwrap(), 7.0);
+        assert_eq!(a.as_slice()[23], 7.0);
+        assert!(a.get(&[2, 0, 0]).is_err());
+        assert!(a.get(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn display_never_empty() {
+        assert!(!format!("{}", Tensor::zeros(&[0])).is_empty());
+        assert!(!format!("{}", Tensor::zeros(&[100])).is_empty());
+    }
+}

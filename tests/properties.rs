@@ -1,0 +1,210 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use dinar_consensus::vote;
+use dinar_data::partition::{partition_indices, Distribution};
+use dinar_metrics::histogram::{js_divergence, Histogram};
+use dinar_metrics::roc::attack_auc;
+use dinar_nn::{LayerParams, ModelParams};
+use dinar_tensor::{Rng, Tensor};
+use proptest::prelude::*;
+
+fn small_vec(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Tensor algebra
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn tensor_add_commutes(a in small_vec(64), seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let t1 = Tensor::from_slice(&a);
+        let t2 = rng.randn(&[a.len()]);
+        let s1 = t1.add(&t2).unwrap();
+        let s2 = t2.add(&t1).unwrap();
+        prop_assert!(s1.approx_eq(&s2, 1e-6));
+    }
+
+    #[test]
+    fn tensor_scale_distributes_over_add(a in small_vec(32), k in -10.0f32..10.0) {
+        let mut rng = Rng::seed_from(7);
+        let t1 = Tensor::from_slice(&a);
+        let t2 = rng.rand_uniform(&[a.len()], -1.0, 1.0);
+        let lhs = t1.add(&t2).unwrap().mul_scalar(k);
+        let rhs = t1.mul_scalar(k).add(&t2.mul_scalar(k)).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn matmul_is_associative(m in 1usize..5, k in 1usize..5, n in 1usize..5, p in 1usize..5, seed in 0u64..100) {
+        let mut rng = Rng::seed_from(seed);
+        let a = rng.rand_uniform(&[m, k], -1.0, 1.0);
+        let b = rng.rand_uniform(&[k, n], -1.0, 1.0);
+        let c = rng.rand_uniform(&[n, p], -1.0, 1.0);
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn transpose_preserves_matmul(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..100) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let mut rng = Rng::seed_from(seed);
+        let a = rng.randn(&[m, k]);
+        let b = rng.randn(&[k, n]);
+        let lhs = a.matmul(&b).unwrap().transpose().unwrap();
+        let rhs = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    // ------------------------------------------------------------------
+    // Model parameter arithmetic (the FedAvg substrate)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn fedavg_of_identical_params_is_identity(v in small_vec(32), copies in 2usize..6) {
+        let p = ModelParams::new(vec![LayerParams::new(vec![Tensor::from_slice(&v)])]);
+        let mut acc = p.zeros_like();
+        for _ in 0..copies {
+            acc.scaled_add_assign(1.0 / copies as f32, &p).unwrap();
+        }
+        prop_assert!(acc.max_abs_diff(&p).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn fedavg_stays_within_convex_hull(a in small_vec(16), w in 0.0f32..1.0) {
+        let n = a.len();
+        let pa = ModelParams::new(vec![LayerParams::new(vec![Tensor::from_slice(&a)])]);
+        let mut rng = Rng::seed_from(3);
+        let pb = ModelParams::new(vec![LayerParams::new(vec![rng.rand_uniform(&[n], -50.0, 50.0)])]);
+        let mut avg = pa.zeros_like();
+        avg.scaled_add_assign(w, &pa).unwrap();
+        avg.scaled_add_assign(1.0 - w, &pb).unwrap();
+        let fa = pa.to_flat();
+        let fb = pb.to_flat();
+        for (i, x) in avg.to_flat().iter().enumerate() {
+            let lo = fa[i].min(fb[i]) - 1e-4;
+            let hi = fa[i].max(fb[i]) + 1e-4;
+            prop_assert!((lo..=hi).contains(x), "component {i} escaped the hull");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Attack AUC
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn auc_is_bounded_and_inversion_symmetric(
+        members in small_vec(40),
+        nonmembers in small_vec(40),
+    ) {
+        let auc = attack_auc(&members, &nonmembers);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Negating all scores inverts the ranking exactly.
+        let neg_m: Vec<f32> = members.iter().map(|x| -x).collect();
+        let neg_n: Vec<f32> = nonmembers.iter().map(|x| -x).collect();
+        let inverted = attack_auc(&neg_m, &neg_n);
+        prop_assert!((auc + inverted - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auc_is_translation_invariant(members in small_vec(30), nonmembers in small_vec(30), shift in -5.0f32..5.0) {
+        let auc = attack_auc(&members, &nonmembers);
+        let shifted_m: Vec<f32> = members.iter().map(|x| x + shift).collect();
+        let shifted_n: Vec<f32> = nonmembers.iter().map(|x| x + shift).collect();
+        prop_assert!((auc - attack_auc(&shifted_m, &shifted_n)).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------------
+    // Histograms and JS divergence
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn js_divergence_is_symmetric_and_bounded(a in small_vec(200), b in small_vec(200)) {
+        let (ha, hb) = Histogram::joint_pair(&a, &b, 16);
+        let p = ha.probabilities();
+        let q = hb.probabilities();
+        let d1 = js_divergence(&p, &q);
+        let d2 = js_divergence(&q, &p);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!((0.0..=std::f64::consts::LN_2 + 1e-12).contains(&d1));
+    }
+
+    #[test]
+    fn histogram_never_loses_finite_samples(a in small_vec(100), bins in 1usize..32) {
+        let mut h = Histogram::new(-10.0, 10.0, bins);
+        h.extend(a.iter().copied());
+        prop_assert_eq!(h.total(), a.len() as u64); // clamping, not dropping
+    }
+
+    // ------------------------------------------------------------------
+    // Partitioning
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn partitions_are_exhaustive_and_disjoint(
+        n in 10usize..200,
+        classes in 1usize..10,
+        clients in 1usize..8,
+        alpha in prop::option::of(0.1f64..10.0),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n >= clients);
+        let labels: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        let dist = match alpha {
+            Some(a) => Distribution::Dirichlet(a),
+            None => Distribution::Iid,
+        };
+        let mut rng = Rng::seed_from(seed);
+        let shards = partition_indices(&labels, classes, clients, dist, &mut rng).unwrap();
+        prop_assert_eq!(shards.len(), clients);
+        prop_assert!(shards.iter().all(|s| !s.is_empty()));
+        let mut all: Vec<usize> = shards.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    // ------------------------------------------------------------------
+    // Voting
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn majority_value_always_wins_the_vote(
+        majority_value in 0usize..8,
+        honest in 3usize..12,
+        byzantine_votes in prop::collection::vec(0usize..8, 0..3),
+    ) {
+        prop_assume!(byzantine_votes.len() < honest);
+        let mut votes = vec![majority_value; honest];
+        votes.extend(&byzantine_votes);
+        let decided = vote::decide(&votes, 8).unwrap();
+        prop_assert_eq!(decided, majority_value);
+    }
+
+    #[test]
+    fn decide_returns_a_valid_choice(votes in prop::collection::vec(0usize..6, 1..20)) {
+        let decided = vote::decide(&votes, 6).unwrap();
+        prop_assert!(decided < 6);
+        // The decided value must actually have been voted for.
+        prop_assert!(votes.contains(&decided));
+    }
+
+    // ------------------------------------------------------------------
+    // RNG determinism
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn rng_streams_are_reproducible(seed in 0u64..10_000, stream in 0u64..100) {
+        let root = Rng::seed_from(seed);
+        let mut a = root.split(stream);
+        let mut b = root.split(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
