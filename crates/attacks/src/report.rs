@@ -8,10 +8,10 @@
 
 use crate::AttackResult;
 use dinar_metrics::roc::{attack_auc, roc_curve};
-use serde::Serialize;
+use dinar_tensor::json::{Json, ToJson};
 
 /// A full attack report derived from member/non-member score sets.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct AttackReport {
     /// Raw AUC in `[0, 1]`.
     pub auc: f64,
@@ -25,6 +25,19 @@ pub struct AttackReport {
     pub tpr_at_1pct_fpr: f64,
     /// Number of members / non-members evaluated.
     pub samples_per_side: (usize, usize),
+}
+
+impl ToJson for AttackReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("auc", self.auc.to_json()),
+            ("reported_auc", self.reported_auc.to_json()),
+            ("best_accuracy", self.best_accuracy.to_json()),
+            ("tpr_at_10pct_fpr", self.tpr_at_10pct_fpr.to_json()),
+            ("tpr_at_1pct_fpr", self.tpr_at_1pct_fpr.to_json()),
+            ("samples_per_side", self.samples_per_side.to_json()),
+        ])
+    }
 }
 
 impl AttackReport {

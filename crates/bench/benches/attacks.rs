@@ -1,10 +1,11 @@
 //! Attack-side costs: shadow-model fitting (one-time) and per-model scoring
-//! (per attacked upload).
+//! (per attacked upload). Runs on the in-repo std-only harness
+//! (`dinar_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dinar_attacks::shadow::{ShadowAttack, ShadowConfig};
 use dinar_attacks::threshold::LossThresholdAttack;
 use dinar_attacks::MembershipAttack;
+use dinar_bench::timing::{bench, Config};
 use dinar_data::catalog::{self, Profile};
 use dinar_data::split::attack_split;
 use dinar_nn::{models, Model};
@@ -15,7 +16,7 @@ fn arch(rng: &mut Rng) -> dinar_nn::Result<Model> {
     models::fcnn6(600, 100, 48, rng)
 }
 
-fn bench_shadow_fit(c: &mut Criterion) {
+fn bench_shadow_fit(config: &Config) {
     let mut rng = Rng::seed_from(0);
     let dataset = catalog::purchase100(Profile::Mini)
         .generate(&mut rng)
@@ -25,21 +26,19 @@ fn bench_shadow_fit(c: &mut Criterion) {
         .attacker
         .subset(&(0..240).collect::<Vec<_>>())
         .unwrap();
-    c.bench_function("shadow_fit_3x10epochs", |b| {
-        b.iter(|| {
-            let mut attack = ShadowAttack::new(ShadowConfig {
-                num_shadows: 3,
-                shadow_epochs: 10,
-                attack_epochs: 20,
-                ..ShadowConfig::default()
-            });
-            attack.fit(&attacker, arch).unwrap();
-            black_box(attack)
+    bench("shadow_fit_3x10epochs", config, || {
+        let mut attack = ShadowAttack::new(ShadowConfig {
+            num_shadows: 3,
+            shadow_epochs: 10,
+            attack_epochs: 20,
+            ..ShadowConfig::default()
         });
+        attack.fit(&attacker, arch).unwrap();
+        black_box(attack)
     });
 }
 
-fn bench_scoring(c: &mut Criterion) {
+fn bench_scoring(config: &Config) {
     let mut rng = Rng::seed_from(1);
     let dataset = catalog::purchase100(Profile::Mini)
         .generate(&mut rng)
@@ -50,9 +49,9 @@ fn bench_scoring(c: &mut Criterion) {
     let params = model.params();
     let mut template = arch(&mut rng).unwrap();
 
-    c.bench_function("loss_threshold_score_200", |b| {
-        let mut attack = LossThresholdAttack;
-        b.iter(|| black_box(attack.score(&params, &mut template, &samples).unwrap()));
+    let mut attack = LossThresholdAttack;
+    bench("loss_threshold_score_200", config, || {
+        black_box(attack.score(&params, &mut template, &samples).unwrap())
     });
 
     let mut shadow = ShadowAttack::new(ShadowConfig {
@@ -67,14 +66,13 @@ fn bench_scoring(c: &mut Criterion) {
             arch,
         )
         .unwrap();
-    c.bench_function("shadow_score_200", |b| {
-        b.iter(|| black_box(shadow.score(&params, &mut template, &samples).unwrap()));
+    bench("shadow_score_200", config, || {
+        black_box(shadow.score(&params, &mut template, &samples).unwrap())
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_shadow_fit, bench_scoring
+fn main() {
+    let config = Config::heavy();
+    bench_shadow_fit(&config);
+    bench_scoring(&config);
 }
-criterion_main!(benches);

@@ -1,52 +1,41 @@
 //! Cost of the DINAR initialization vote: a full threaded broadcast round
-//! across N nodes, with and without Byzantine participants.
+//! across N nodes, with and without Byzantine participants. Runs on the
+//! in-repo std-only harness (`dinar_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dinar_bench::timing::{bench, Config};
 use dinar_consensus::network::{simulate_vote, NodeBehavior, SimConfig};
 use std::hint::black_box;
 
-fn bench_vote(c: &mut Criterion) {
-    let mut group = c.benchmark_group("broadcast_vote");
-    group.sample_size(10);
+fn main() {
+    let config = Config::heavy();
     for &n in &[5usize, 10, 30] {
-        group.bench_with_input(BenchmarkId::new("honest", n), &n, |b, &n| {
-            let behaviors = vec![NodeBehavior::Honest { proposal: 4 }; n];
-            b.iter(|| {
-                black_box(
-                    simulate_vote(
-                        &behaviors,
-                        &SimConfig {
-                            num_choices: 10,
-                            seed: 1,
-                        },
-                    )
-                    .unwrap(),
+        let behaviors = vec![NodeBehavior::Honest { proposal: 4 }; n];
+        bench(&format!("broadcast_vote/honest/{n}"), &config, || {
+            black_box(
+                simulate_vote(
+                    &behaviors,
+                    &SimConfig {
+                        num_choices: 10,
+                        seed: 1,
+                    },
                 )
-            });
+                .unwrap(),
+            )
         });
-        group.bench_with_input(BenchmarkId::new("byzantine_third", n), &n, |b, &n| {
-            let mut behaviors = vec![NodeBehavior::Honest { proposal: 4 }; n - n / 3];
-            behaviors.extend(vec![NodeBehavior::byzantine_random(); n / 3]);
-            b.iter(|| {
-                black_box(
-                    simulate_vote(
-                        &behaviors,
-                        &SimConfig {
-                            num_choices: 10,
-                            seed: 2,
-                        },
-                    )
-                    .unwrap(),
+
+        let mut mixed = vec![NodeBehavior::Honest { proposal: 4 }; n - n / 3];
+        mixed.extend(vec![NodeBehavior::byzantine_random(); n / 3]);
+        bench(&format!("broadcast_vote/byzantine_third/{n}"), &config, || {
+            black_box(
+                simulate_vote(
+                    &mixed,
+                    &SimConfig {
+                        num_choices: 10,
+                        seed: 2,
+                    },
                 )
-            });
+                .unwrap(),
+            )
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_vote
-}
-criterion_main!(benches);

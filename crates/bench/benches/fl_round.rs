@@ -1,13 +1,14 @@
-//! Criterion counterpart of Table 3: the cost of one FL round per defense
+//! Bench counterpart of Table 3: the cost of one FL round per defense
 //! configuration (client training + upload transform + aggregation),
-//! measured on the GTSRB/VGG11-mini workload.
+//! measured on the GTSRB/VGG11-mini workload. Runs on the in-repo std-only
+//! harness (`dinar_bench::timing`).
 //!
 //! The printed relative times are the overhead story: DINAR tracks the
 //! undefended baseline; DP/GC/SA variants pay for their transforms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dinar::middleware::DinarMiddleware;
 use dinar::DinarConfig;
+use dinar_bench::timing::{bench_batched, Config};
 use dinar_data::catalog::{self, Profile};
 use dinar_data::partition::{partition_dataset, Distribution};
 use dinar_data::split::attack_split;
@@ -87,27 +88,17 @@ fn build(defense: &str, shards: Vec<Dataset>) -> FlSystem {
     builder.build().unwrap()
 }
 
-fn bench_round_per_defense(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fl_round_gtsrb");
-    group.sample_size(10);
+fn main() {
+    let config = Config::heavy();
     for defense in ["baseline", "wdp", "ldp", "gc", "sa", "dinar"] {
-        group.bench_with_input(BenchmarkId::from_parameter(defense), &defense, |b, d| {
-            b.iter_batched(
-                || build(d, shards()),
-                |mut system| {
-                    black_box(system.run_round().unwrap());
-                    system
-                },
-                criterion::BatchSize::PerIteration,
-            );
-        });
+        bench_batched(
+            &format!("fl_round_gtsrb/{defense}"),
+            &config,
+            || build(defense, shards()),
+            |mut system| {
+                black_box(system.run_round().unwrap());
+                system
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(8)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_round_per_defense
-}
-criterion_main!(benches);

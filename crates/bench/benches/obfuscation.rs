@@ -1,79 +1,78 @@
 //! Ablation bench: cost of DINAR's per-round transforms (obfuscation
 //! strategies × personalization restore) on a VGG11-mini parameter set —
 //! the "DINAR adds no overhead" claim of Table 3 quantified in isolation.
+//! Runs on the in-repo std-only harness (`dinar_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dinar::obfuscation::{obfuscate_layer, ObfuscationStrategy};
+use dinar_bench::timing::{bench_batched, Config};
 use dinar_nn::models;
 use dinar_tensor::Rng;
 use std::hint::black_box;
 
-fn bench_obfuscation_strategies(c: &mut Criterion) {
+fn bench_obfuscation_strategies(config: &Config) {
     let mut rng = Rng::seed_from(0);
     let model = models::vgg11_mini(3, 43, &mut rng).unwrap();
     let params = model.params();
     let penultimate = params.num_layers() - 2;
 
-    let mut group = c.benchmark_group("obfuscate_penultimate");
     for (name, strategy) in [
         ("random", ObfuscationStrategy::Random),
         ("zeros", ObfuscationStrategy::Zeros),
         ("gaussian", ObfuscationStrategy::Gaussian),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &s| {
-            let mut obf_rng = Rng::seed_from(1);
-            b.iter_batched(
-                || params.clone(),
-                |mut p| {
-                    black_box(obfuscate_layer(&mut p, penultimate, s, &mut obf_rng).unwrap());
-                    p
-                },
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        let mut obf_rng = Rng::seed_from(1);
+        bench_batched(
+            &format!("obfuscate_penultimate/{name}"),
+            config,
+            || params.clone(),
+            |mut p| {
+                black_box(obfuscate_layer(&mut p, penultimate, strategy, &mut obf_rng).unwrap());
+                p
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_personalization_restore(c: &mut Criterion) {
+fn bench_personalization_restore(config: &Config) {
     let mut rng = Rng::seed_from(2);
     let model = models::vgg11_mini(3, 43, &mut rng).unwrap();
     let params = model.params();
     let stored = params.layers[params.num_layers() - 2].clone();
-    c.bench_function("personalization_restore", |b| {
-        b.iter_batched(
-            || params.clone(),
-            |mut p| {
-                let idx = p.num_layers() - 2;
-                p.layers[idx] = stored.clone();
-                black_box(p)
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+    bench_batched(
+        "personalization_restore",
+        config,
+        || params.clone(),
+        |mut p| {
+            let idx = p.num_layers() - 2;
+            p.layers[idx] = stored.clone();
+            black_box(p)
+        },
+    );
 }
 
-fn bench_whole_model_noise_for_contrast(c: &mut Criterion) {
+fn bench_whole_model_noise_for_contrast(config: &Config) {
     // What the DP defenses pay instead: noising EVERY parameter.
     let mut rng = Rng::seed_from(3);
     let model = models::vgg11_mini(3, 43, &mut rng).unwrap();
     let params = model.params();
-    c.bench_function("full_model_gaussian_noise", |b| {
-        let mut noise_rng = Rng::seed_from(4);
-        b.iter_batched(
-            || params.clone(),
-            |mut p| {
-                dinar_defenses::dp::add_gaussian_noise(&mut p, 0.01, &mut noise_rng);
-                black_box(p)
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+    let mut noise_rng = Rng::seed_from(4);
+    bench_batched(
+        "full_model_gaussian_noise",
+        config,
+        || params.clone(),
+        |mut p| {
+            dinar_defenses::dp::add_gaussian_noise(&mut p, 0.01, &mut noise_rng);
+            black_box(p)
+        },
+    );
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_obfuscation_strategies, bench_personalization_restore, bench_whole_model_noise_for_contrast
+fn main() {
+    let config = Config {
+        samples: 20,
+        ..Config::heavy()
+    };
+    bench_obfuscation_strategies(&config);
+    bench_personalization_restore(&config);
+    bench_whole_model_noise_for_contrast(&config);
 }
-criterion_main!(benches);

@@ -1,39 +1,29 @@
 //! Optimizer step costs (the Fig. 11 ablation's runtime side): one
 //! full forward/backward/step cycle per optimizer on the Purchase100 FCNN.
+//! Runs on the in-repo std-only harness (`dinar_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dinar_bench::timing::{bench, Config};
 use dinar_nn::loss::CrossEntropyLoss;
 use dinar_nn::models::{self};
 use dinar_nn::optim::{self};
 use dinar_tensor::Rng;
 use std::hint::black_box;
 
-fn bench_step(c: &mut Criterion) {
-    let mut group = c.benchmark_group("train_step_fcnn6");
-    group.sample_size(20);
+fn main() {
+    let config = Config::heavy();
     for name in ["sgd", "adagrad", "adam", "adamax", "rmsprop", "adgd"] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
-            let mut rng = Rng::seed_from(0);
-            let mut model = models::fcnn6(600, 100, 64, &mut rng).unwrap();
-            let mut opt = optim::by_name(name, 0.01).unwrap();
-            let x = rng.rand_uniform(&[64, 600], 0.0, 1.0);
-            let labels: Vec<usize> = (0..64).map(|i| i % 100).collect();
-            b.iter(|| {
-                let logits = model.forward(&x, true).unwrap();
-                let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels).unwrap();
-                model.zero_grad();
-                model.backward(&grad).unwrap();
-                opt.step(&mut model).unwrap();
-                black_box(());
-            });
+        let mut rng = Rng::seed_from(0);
+        let mut model = models::fcnn6(600, 100, 64, &mut rng).unwrap();
+        let mut opt = optim::by_name(name, 0.01).unwrap();
+        let x = rng.rand_uniform(&[64, 600], 0.0, 1.0);
+        let labels: Vec<usize> = (0..64).map(|i| i % 100).collect();
+        bench(&format!("train_step_fcnn6/{name}"), &config, || {
+            let logits = model.forward(&x, true).unwrap();
+            let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels).unwrap();
+            model.zero_grad();
+            model.backward(&grad).unwrap();
+            opt.step(&mut model).unwrap();
+            black_box(())
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_step
-}
-criterion_main!(benches);

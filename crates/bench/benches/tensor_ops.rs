@@ -1,35 +1,32 @@
 //! Micro-benchmarks of the tensor substrate: the hot kernels every FL round
-//! is built from.
+//! is built from. Runs on the in-repo std-only harness (`dinar_bench::timing`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dinar_bench::timing::{bench, bench_batched, Config};
 use dinar_tensor::conv::{im2col2d, Conv2dGeom};
 use dinar_tensor::Rng;
 use std::hint::black_box;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
-    group.sample_size(20);
+fn bench_matmul(config: &Config) {
     for &n in &[32usize, 64, 128] {
         let mut rng = Rng::seed_from(0);
         let a = rng.randn(&[n, n]);
         let b = rng.randn(&[n, n]);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| black_box(a.matmul(&b).unwrap()));
+        bench(&format!("matmul/{n}"), config, || {
+            black_box(a.matmul(&b).unwrap())
         });
     }
-    group.finish();
 }
 
-fn bench_matmul_t(c: &mut Criterion) {
+fn bench_matmul_t(config: &Config) {
     let mut rng = Rng::seed_from(1);
     let a = rng.randn(&[64, 128]);
     let b = rng.randn(&[96, 128]);
-    c.bench_function("matmul_t_64x128x96", |bench| {
-        bench.iter(|| black_box(a.matmul_t(&b).unwrap()));
+    bench("matmul_t_64x128x96", config, || {
+        black_box(a.matmul_t(&b).unwrap())
     });
 }
 
-fn bench_im2col(c: &mut Criterion) {
+fn bench_im2col(config: &Config) {
     let mut rng = Rng::seed_from(2);
     let x = rng.randn(&[8, 8, 16, 16]);
     let geom = Conv2dGeom {
@@ -41,37 +38,36 @@ fn bench_im2col(c: &mut Criterion) {
         stride: 1,
         padding: 1,
     };
-    c.bench_function("im2col2d_8x8x16x16_k3", |bench| {
-        bench.iter(|| black_box(im2col2d(&x, &geom).unwrap()));
+    bench("im2col2d_8x8x16x16_k3", config, || {
+        black_box(im2col2d(&x, &geom).unwrap())
     });
 }
 
-fn bench_elementwise(c: &mut Criterion) {
+fn bench_elementwise(config: &Config) {
     let mut rng = Rng::seed_from(3);
     let a = rng.randn(&[100_000]);
     let b = rng.randn(&[100_000]);
-    c.bench_function("scaled_add_assign_100k", |bench| {
-        bench.iter_batched(
-            || a.clone(),
-            |mut t| {
-                t.scaled_add_assign(0.5, &b).unwrap();
-                black_box(t)
-            },
-            criterion::BatchSize::SmallInput,
-        );
-    });
+    bench_batched(
+        "scaled_add_assign_100k",
+        config,
+        || a.clone(),
+        |mut t| {
+            t.scaled_add_assign(0.5, &b).unwrap();
+            black_box(t)
+        },
+    );
 }
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("randn_100k", |bench| {
-        let mut rng = Rng::seed_from(4);
-        bench.iter(|| black_box(rng.randn(&[100_000])));
-    });
+fn bench_rng(config: &Config) {
+    let mut rng = Rng::seed_from(4);
+    bench("randn_100k", config, || black_box(rng.randn(&[100_000])));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_matmul_t, bench_im2col, bench_elementwise, bench_rng
+fn main() {
+    let config = Config::default();
+    bench_matmul(&config);
+    bench_matmul_t(&config);
+    bench_im2col(&config);
+    bench_elementwise(&Config::heavy());
+    bench_rng(&config);
 }
-criterion_main!(benches);

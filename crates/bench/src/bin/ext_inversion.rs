@@ -14,13 +14,15 @@ use dinar_data::catalog::{self, Profile};
 use dinar_data::Dataset;
 use dinar_nn::ModelParams;
 use dinar_tensor::{Rng, Tensor};
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct InversionRow {
     target: String,
     mean_prototype_similarity: f64,
 }
+
+impl_to_json!(InversionRow { target, mean_prototype_similarity });
 
 /// Estimates each class's prototype as the mean of its training samples.
 fn class_prototypes(data: &Dataset) -> Vec<Tensor> {

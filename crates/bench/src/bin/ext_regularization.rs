@@ -20,14 +20,16 @@ use dinar_nn::dropout::Dropout;
 use dinar_nn::optim::Adagrad;
 use dinar_nn::{Layer, Model};
 use dinar_tensor::Rng;
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct RegRow {
     configuration: String,
     local_auc_pct: f64,
     accuracy_pct: f64,
 }
+
+impl_to_json!(RegRow { configuration, local_auc_pct, accuracy_pct });
 
 /// The 6-layer FCNN with dropout after every hidden activation.
 fn fcnn_with_dropout(p: f32, rng: &mut Rng) -> dinar_nn::Result<Model> {

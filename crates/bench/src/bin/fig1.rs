@@ -15,14 +15,16 @@ use dinar_data::split::attack_split;
 use dinar_nn::loss::CrossEntropyLoss;
 use dinar_nn::optim::{Adagrad, Optimizer};
 use dinar_tensor::Rng;
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Fig1Row {
     dataset: String,
     divergences: Vec<f64>,
     argmax_layer: usize,
 }
+
+impl_to_json!(Fig1Row { dataset, divergences, argmax_layer });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut results = Vec::new();

@@ -9,14 +9,16 @@
 use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
 use dinar_bench::report;
 use dinar_data::catalog::{self, Profile};
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Fig10Row {
     label: String,
     local_auc_pct: f64,
     accuracy_pct: f64,
 }
+
+impl_to_json!(Fig10Row { label, local_auc_pct, accuracy_pct });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ExperimentSpec::mini_default(catalog::purchase100(Profile::Mini));

@@ -7,15 +7,17 @@
 use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
 use dinar_bench::report;
 use dinar_data::catalog::{self, Profile};
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Fig11Row {
     optimizer: String,
     accuracy_pct: f64,
     local_auc_pct: f64,
     global_auc_pct: f64,
 }
+
+impl_to_json!(Fig11Row { optimizer, accuracy_pct, local_auc_pct, global_auc_pct });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Fig. 11 — DINAR optimizer ablation (Purchase100)\n");

@@ -14,15 +14,17 @@ use dinar_fl::eval::losses_of_params;
 use dinar_metrics::histogram::js_divergence_samples;
 use dinar_metrics::stats::Summary;
 use dinar_tensor::Rng;
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Fig3Row {
     defense: String,
     member_losses: Summary,
     nonmember_losses: Summary,
     js_divergence: f64,
 }
+
+impl_to_json!(Fig3Row { defense, member_losses, nonmember_losses, js_divergence });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ExperimentSpec::mini_default(catalog::cifar10(Profile::Mini));

@@ -20,15 +20,17 @@ use dinar_bench::harness::{model_for, prepare, train_defense, Defense, Experimen
 use dinar_bench::report;
 use dinar_data::catalog::{self, Profile};
 use dinar_tensor::Rng;
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Fig4Result {
     divergences: Vec<f64>,
     per_layer_naive_auc: Vec<f64>,
     per_layer_repair_auc: Vec<f64>,
     no_defense_auc: f64,
 }
+
+impl_to_json!(Fig4Result { divergences, per_layer_naive_auc, per_layer_repair_auc, no_defense_auc });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ExperimentSpec::mini_default(catalog::celeba(Profile::Mini));

@@ -9,9 +9,9 @@ use dinar::ObfuscationStrategy;
 use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
 use dinar_bench::report;
 use dinar_data::catalog::{self, Profile};
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Fig5Row {
     obfuscated_layers: Vec<usize>,
     label: String,
@@ -19,6 +19,8 @@ struct Fig5Row {
     global_auc_pct: f64,
     accuracy_pct: f64,
 }
+
+impl_to_json!(Fig5Row { obfuscated_layers, label, local_auc_pct, global_auc_pct, accuracy_pct });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ExperimentSpec::mini_default(catalog::purchase100(Profile::Mini));

@@ -8,6 +8,7 @@
 use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec, Outcome};
 use dinar_bench::report;
 use dinar_data::catalog::{self, Profile};
+use dinar_tensor::json::Json;
 use std::path::Path;
 
 fn load_or_run() -> Result<Vec<Outcome>, Box<dyn std::error::Error>> {
@@ -15,7 +16,12 @@ fn load_or_run() -> Result<Vec<Outcome>, Box<dyn std::error::Error>> {
     if path.exists() {
         eprintln!("[fig7] reusing {}", path.display());
         let json = std::fs::read_to_string(&path)?;
-        return Ok(serde_json::from_str(&json)?);
+        let value = Json::parse(&json)?;
+        return value
+            .as_arr()
+            .map(|rows| rows.iter().map(Outcome::from_json).collect::<Option<Vec<_>>>())
+            .and_then(|parsed| parsed)
+            .ok_or_else(|| format!("{} is not a valid outcome list", path.display()).into());
     }
     eprintln!("[fig7] no fig6.json found; running the defense grid");
     let mut outcomes = Vec::new();

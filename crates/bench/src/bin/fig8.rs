@@ -10,15 +10,17 @@ use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
 use dinar_bench::report;
 use dinar_data::catalog::{self, Profile};
 use dinar_data::partition::Distribution;
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Fig8Row {
     alpha: String,
     defense: String,
     local_auc_pct: f64,
     accuracy_pct: f64,
 }
+
+impl_to_json!(Fig8Row { alpha, defense, local_auc_pct, accuracy_pct });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alphas: Vec<(String, Distribution)> = vec![

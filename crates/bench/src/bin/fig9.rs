@@ -7,15 +7,17 @@
 use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
 use dinar_bench::report;
 use dinar_data::catalog::{self, Profile};
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Fig9Row {
     clients: usize,
     defense: String,
     local_auc_pct: f64,
     accuracy_pct: f64,
 }
+
+impl_to_json!(Fig9Row { clients, defense, local_auc_pct, accuracy_pct });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut results = Vec::new();

@@ -10,9 +10,9 @@ use dinar_bench::harness::{prepare, run_defense, Defense, ExperimentSpec};
 use dinar_bench::report;
 use dinar_data::catalog::{self, Profile};
 use dinar_metrics::cost::CostSample;
-use serde::Serialize;
+use dinar_bench::impl_to_json;
 
-#[derive(Serialize)]
+
 struct Table3Row {
     defense: String,
     cost: CostSample,
@@ -20,6 +20,8 @@ struct Table3Row {
     server_agg_pct: f64,
     client_mem_pct: f64,
 }
+
+impl_to_json!(Table3Row { defense, cost, client_train_pct, server_agg_pct, client_mem_pct });
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = ExperimentSpec::mini_default(catalog::gtsrb(Profile::Mini));

@@ -16,8 +16,8 @@ use dinar_fl::{ClientMiddleware, FlConfig, FlSystem};
 use dinar_metrics::cost::CostSample;
 use dinar_nn::optim::{self, Optimizer};
 use dinar_nn::{Model, ModelParams};
+use dinar_tensor::json::{Json, ToJson};
 use dinar_tensor::Rng;
-use serde::Serialize;
 
 /// Maximum samples per side when estimating an attack AUC (keeps the
 /// evaluation fast without biasing the estimate).
@@ -253,7 +253,7 @@ pub fn prepare(spec: ExperimentSpec) -> Result<Environment, Box<dyn std::error::
 
 /// The measured outcome of one (dataset, defense) run — one cell of the
 /// paper's evaluation.
-#[derive(Debug, Clone, Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Outcome {
     /// Dataset name.
     pub dataset: String,
@@ -267,6 +267,36 @@ pub struct Outcome {
     pub accuracy_pct: f64,
     /// Mean per-round costs.
     pub cost: CostSample,
+}
+
+impl ToJson for Outcome {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("dataset", self.dataset.to_json()),
+            ("defense", self.defense.to_json()),
+            ("global_auc_pct", self.global_auc_pct.to_json()),
+            ("local_auc_pct", self.local_auc_pct.to_json()),
+            ("accuracy_pct", self.accuracy_pct.to_json()),
+            ("cost", self.cost.to_json()),
+        ])
+    }
+}
+
+impl Outcome {
+    /// Reconstructs an outcome from its [`ToJson`] encoding (used to reuse a
+    /// previous run's `fig6.json` artifact).
+    ///
+    /// Returns `None` if any field is missing or has the wrong type.
+    pub fn from_json(value: &Json) -> Option<Self> {
+        Some(Outcome {
+            dataset: value.get("dataset").and_then(Json::as_str)?.to_string(),
+            defense: value.get("defense").and_then(Json::as_str)?.to_string(),
+            global_auc_pct: value.get("global_auc_pct").and_then(Json::as_f64)?,
+            local_auc_pct: value.get("local_auc_pct").and_then(Json::as_f64)?,
+            accuracy_pct: value.get("accuracy_pct").and_then(Json::as_f64)?,
+            cost: CostSample::from_json(value.get("cost")?)?,
+        })
+    }
 }
 
 /// A trained FL system plus the artifacts the evaluations need.

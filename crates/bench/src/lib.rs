@@ -21,3 +21,4 @@
 
 pub mod harness;
 pub mod report;
+pub mod timing;

@@ -1,26 +1,39 @@
 //! Terminal tables and JSON artifacts for experiment binaries.
 
-use serde::Serialize;
+use dinar_tensor::json::ToJson;
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Directory where experiment binaries drop their JSON artifacts.
 pub const RESULTS_DIR: &str = "bench-results";
 
-/// Writes a serializable result as pretty JSON under
+/// Writes a [`ToJson`] result as pretty JSON under
 /// [`RESULTS_DIR`]`/<name>.json`, creating the directory if needed.
 ///
 /// # Errors
 ///
-/// Returns an I/O or serialization error.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+/// Returns an I/O error.
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) -> std::io::Result<PathBuf> {
     let dir = Path::new(RESULTS_DIR);
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    fs::write(&path, json)?;
+    fs::write(&path, value.to_json().dump_pretty())?;
     Ok(path)
+}
+
+/// Implements [`ToJson`] for a named-field struct by listing its fields —
+/// the replacement for `#[derive(Serialize)]` on experiment row types.
+#[macro_export]
+macro_rules! impl_to_json {
+    ($name:ty { $($field:ident),+ $(,)? }) => {
+        impl ::dinar_tensor::json::ToJson for $name {
+            fn to_json(&self) -> ::dinar_tensor::json::Json {
+                ::dinar_tensor::json::Json::obj(vec![
+                    $((stringify!($field), self.$field.to_json())),+
+                ])
+            }
+        }
+    };
 }
 
 /// Renders a simple aligned table to a string.

@@ -6,8 +6,7 @@
 //! honest nodes must decide from whatever arrives before the round deadline.
 
 use crate::{vote, ConsensusError, Result};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use serde::{Deserialize, Serialize};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread;
 use std::time::Duration;
 
@@ -16,7 +15,7 @@ use std::time::Duration;
 const ROUND_TIMEOUT: Duration = Duration::from_millis(500);
 
 /// A vote message broadcast between nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VoteMsg {
     /// Sender node id.
     pub from: usize,
@@ -151,7 +150,7 @@ pub fn simulate_vote(behaviors: &[NodeBehavior], config: &SimConfig) -> Result<V
     let mut senders: Vec<Sender<VoteMsg>> = Vec::with_capacity(n);
     let mut receivers: Vec<Option<Receiver<VoteMsg>>> = Vec::with_capacity(n);
     for _ in 0..n {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders.push(tx);
         receivers.push(Some(rx));
     }

@@ -1,4 +1,6 @@
-//! Property-based tests of DINAR's obfuscation/personalization invariants.
+//! Property tests of DINAR's obfuscation/personalization invariants, driven
+//! by the workspace's own seeded RNG instead of `proptest` so the whole suite
+//! is deterministic and dependency-free.
 
 use dinar::middleware::DinarMiddleware;
 use dinar::obfuscation::{obfuscate_layer, ObfuscationStrategy};
@@ -6,7 +8,13 @@ use dinar::DinarConfig;
 use dinar_fl::ClientMiddleware;
 use dinar_nn::{LayerParams, ModelParams};
 use dinar_tensor::Rng;
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
+
+/// Per-case RNG: independent, reproducible stream per (property, case).
+fn case_rng(property: u64, case: u64) -> Rng {
+    Rng::seed_from(0xD1AA_2000 + property * 10_007 + case)
+}
 
 fn arbitrary_params(layers: usize, seed: u64) -> ModelParams {
     let mut rng = Rng::seed_from(seed);
@@ -22,53 +30,50 @@ fn arbitrary_params(layers: usize, seed: u64) -> ModelParams {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Obfuscation returns the exact original layer and never touches the
-    /// other layers, for every strategy and layer index.
-    #[test]
-    fn obfuscation_isolates_the_target_layer(
-        layers in 1usize..6,
-        target in 0usize..6,
-        strategy_idx in 0usize..3,
-        seed in 0u64..1000,
-    ) {
-        prop_assume!(target < layers);
+/// Obfuscation returns the exact original layer and never touches the
+/// other layers, for every strategy and layer index.
+#[test]
+fn obfuscation_isolates_the_target_layer() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let layers = 1 + rng.below(5);
+        let target = rng.below(layers);
         let strategy = [
             ObfuscationStrategy::Random,
             ObfuscationStrategy::Zeros,
             ObfuscationStrategy::Gaussian,
-        ][strategy_idx];
+        ][rng.below(3)];
+        let seed = rng.next_u64();
         let original = arbitrary_params(layers, seed);
         let mut mutated = original.clone();
-        let mut rng = Rng::seed_from(seed ^ 0xF00);
-        let returned = obfuscate_layer(&mut mutated, target, strategy, &mut rng).unwrap();
-        prop_assert_eq!(&returned, &original.layers[target]);
+        let mut obf_rng = Rng::seed_from(seed ^ 0xF00);
+        let returned = obfuscate_layer(&mut mutated, target, strategy, &mut obf_rng).unwrap();
+        assert_eq!(&returned, &original.layers[target], "case {case}");
         for i in 0..layers {
             if i == target {
                 // The obfuscated layer keeps its shapes but not its values
                 // (zeros may coincide if the original was all zeros — our
                 // random params never are).
-                prop_assert!(returned.same_shape(&mutated.layers[i]));
-                prop_assert_ne!(&mutated.layers[i], &original.layers[i]);
+                assert!(returned.same_shape(&mutated.layers[i]), "case {case}");
+                assert_ne!(&mutated.layers[i], &original.layers[i], "case {case}");
             } else {
-                prop_assert_eq!(&mutated.layers[i], &original.layers[i]);
+                assert_eq!(&mutated.layers[i], &original.layers[i], "case {case}");
             }
         }
     }
+}
 
-    /// Upload-then-download through the DINAR middleware restores the
-    /// client's private layer exactly, regardless of what the server sends
-    /// back — the Alg. 1 personalization invariant.
-    #[test]
-    fn personalization_roundtrip_invariant(
-        layers in 2usize..6,
-        target in 0usize..6,
-        seed in 0u64..1000,
-        rounds in 1usize..4,
-    ) {
-        prop_assume!(target < layers);
+/// Upload-then-download through the DINAR middleware restores the
+/// client's private layer exactly, regardless of what the server sends
+/// back — the Alg. 1 personalization invariant.
+#[test]
+fn personalization_roundtrip_invariant() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let layers = 2 + rng.below(4);
+        let target = rng.below(layers);
+        let rounds = 1 + rng.below(3);
+        let seed = rng.next_u64();
         let mut mw = DinarMiddleware::new(target, DinarConfig::default(), seed);
         for round in 0..rounds {
             // Locally trained parameters this round.
@@ -76,21 +81,25 @@ proptest! {
             let mut upload = trained.clone();
             mw.transform_upload(0, &mut upload).unwrap();
             // Private layer never leaves the client.
-            prop_assert_ne!(&upload.layers[target], &trained.layers[target]);
+            assert_ne!(&upload.layers[target], &trained.layers[target], "case {case}");
             let last_private = trained.layers[target].clone();
 
             // Arbitrary global model comes back.
             let mut download = arbitrary_params(layers, seed ^ 0xABCD ^ round as u64);
             mw.transform_download(0, &mut download).unwrap();
             // Personalization restored exactly what the client trained.
-            prop_assert_eq!(&download.layers[target], &last_private);
+            assert_eq!(&download.layers[target], &last_private, "case {case}");
         }
     }
+}
 
-    /// The obfuscated layer never correlates with the original: the random
-    /// strategy's output is independent of the private values.
-    #[test]
-    fn random_obfuscation_is_value_independent(seed in 0u64..1000) {
+/// The obfuscated layer never correlates with the original: the random
+/// strategy's output is independent of the private values.
+#[test]
+fn random_obfuscation_is_value_independent() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let seed = rng.next_u64();
         // Two different private layers, same obfuscation stream → same
         // obfuscated output (values depend only on the stream, not on the
         // secret).
@@ -102,24 +111,29 @@ proptest! {
         let mut rng_b = Rng::seed_from(42);
         obfuscate_layer(&mut a, 1, ObfuscationStrategy::Random, &mut rng_a).unwrap();
         obfuscate_layer(&mut b, 1, ObfuscationStrategy::Random, &mut rng_b).unwrap();
-        prop_assert_eq!(&a.layers[1], &b.layers[1]);
+        assert_eq!(&a.layers[1], &b.layers[1], "case {case}");
     }
+}
 
-    /// Zeroed-layer uploads leak only shape: every tensor of the obfuscated
-    /// layer is identically zero.
-    #[test]
-    fn zeros_strategy_leaks_nothing_but_shape(layers in 1usize..5, seed in 0u64..1000) {
+/// Zeroed-layer uploads leak only shape: every tensor of the obfuscated
+/// layer is identically zero.
+#[test]
+fn zeros_strategy_leaks_nothing_but_shape() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let layers = 1 + rng.below(4);
+        let seed = rng.next_u64();
         let mut params = arbitrary_params(layers, seed);
         let target = (seed as usize) % layers;
-        let mut rng = Rng::seed_from(0);
-        obfuscate_layer(&mut params, target, ObfuscationStrategy::Zeros, &mut rng).unwrap();
+        let mut obf_rng = Rng::seed_from(0);
+        obfuscate_layer(&mut params, target, ObfuscationStrategy::Zeros, &mut obf_rng).unwrap();
         for t in &params.layers[target].tensors {
-            prop_assert!(t.as_slice().iter().all(|&x| x == 0.0));
+            assert!(t.as_slice().iter().all(|&x| x == 0.0), "case {case}");
         }
     }
 }
 
-/// Deterministic sanity outside proptest: a `Tensor` of arbitrary values is
+/// Deterministic sanity check: a `Tensor` of arbitrary values is
 /// never equal after Random obfuscation (collision probability ~0).
 #[test]
 fn random_obfuscation_changes_values() {

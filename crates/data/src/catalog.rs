@@ -12,11 +12,11 @@
 
 use crate::synth::{Modality, SynthSpec};
 use crate::{Dataset, Result};
+use dinar_tensor::json::{Json, ToJson};
 use dinar_tensor::Rng;
-use serde::Serialize;
 
 /// Scale profile for a catalog dataset.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Profile {
     /// CPU-scale profile used by the experiment binaries.
     Mini,
@@ -25,7 +25,7 @@ pub enum Profile {
 }
 
 /// The paper-reported dimensions of a dataset (Table 2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PaperDims {
     /// Number of records.
     pub records: usize,
@@ -38,12 +38,32 @@ pub struct PaperDims {
 }
 
 /// A catalog dataset: paper metadata plus a resolved synthetic spec.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CatalogEntry {
     /// Resolved synthetic generator specification.
     pub spec: SynthSpec,
     /// The paper's dimensions for this dataset.
     pub paper: PaperDims,
+}
+
+impl ToJson for PaperDims {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("records", self.records.to_json()),
+            ("features", self.features.to_json()),
+            ("classes", self.classes.to_json()),
+            ("model", self.model.to_json()),
+        ])
+    }
+}
+
+impl ToJson for CatalogEntry {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("spec", self.spec.to_json()),
+            ("paper", self.paper.to_json()),
+        ])
+    }
 }
 
 impl CatalogEntry {

@@ -2,7 +2,6 @@
 
 use crate::{DataError, Result};
 use dinar_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// A labelled classification dataset held in memory.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// logical per-sample shape (e.g. `[3, 16, 16]` for images); [`Dataset::batch`]
 /// reshapes gathered rows to `[batch, ...sample_shape]` so convolutional
 /// models receive their expected layout.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     features: Tensor,
     labels: Vec<usize>,

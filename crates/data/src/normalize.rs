@@ -9,10 +9,9 @@
 
 use crate::{DataError, Dataset, Result};
 use dinar_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// Per-feature standardization: `x' = (x - mean) / std`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Standardizer {
     mean: Vec<f32>,
     std: Vec<f32>,

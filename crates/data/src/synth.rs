@@ -20,11 +20,11 @@
 //!   flip noise (stands in for Purchase100 and Texas100's binary records).
 
 use crate::{DataError, Dataset, Result};
+use dinar_tensor::json::{Json, ToJson};
 use dinar_tensor::{Rng, Tensor};
-use serde::{Deserialize, Serialize};
 
 /// The feature modality of a synthetic task.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Modality {
     /// `channels × height × width` images.
     Image {
@@ -45,6 +45,32 @@ pub enum Modality {
         /// Number of binary features.
         features: usize,
     },
+}
+
+impl ToJson for Modality {
+    fn to_json(&self) -> Json {
+        match *self {
+            Modality::Image {
+                channels,
+                height,
+                width,
+            } => Json::obj(vec![(
+                "Image",
+                Json::obj(vec![
+                    ("channels", channels.to_json()),
+                    ("height", height.to_json()),
+                    ("width", width.to_json()),
+                ]),
+            )]),
+            Modality::Audio { len } => {
+                Json::obj(vec![("Audio", Json::obj(vec![("len", len.to_json())]))])
+            }
+            Modality::BinaryTabular { features } => Json::obj(vec![(
+                "BinaryTabular",
+                Json::obj(vec![("features", features.to_json())]),
+            )]),
+        }
+    }
 }
 
 impl Modality {
@@ -68,7 +94,7 @@ impl Modality {
 }
 
 /// Specification of a synthetic classification task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SynthSpec {
     /// Dataset name (for reports).
     pub name: String,
@@ -86,6 +112,18 @@ pub struct SynthSpec {
     /// larger memorization incentive → stronger MIA signal on unprotected
     /// models.
     pub noise: f32,
+}
+
+impl ToJson for SynthSpec {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", self.name.to_json()),
+            ("num_classes", self.num_classes.to_json()),
+            ("num_samples", self.num_samples.to_json()),
+            ("modality", self.modality.to_json()),
+            ("noise", self.noise.to_json()),
+        ])
+    }
 }
 
 impl SynthSpec {

@@ -3,10 +3,9 @@
 
 use dinar_nn::ModelParams;
 use dinar_tensor::Rng;
-use serde::Serialize;
 
 /// An (ε, δ) budget with an L2 clipping bound.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DpParams {
     /// Privacy budget ε (the paper's default is 2.2).
     pub epsilon: f32,

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod clock;
 mod error;
 pub mod eval;
 pub mod middleware;

@@ -6,10 +6,9 @@ use dinar_metrics::cost::{measure, CostSample};
 use dinar_nn::optim::Optimizer;
 use dinar_nn::{Model, ModelParams};
 use dinar_tensor::Rng;
-use serde::Serialize;
 
 /// Static configuration of an FL system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlConfig {
     /// Local epochs per client per round (the paper uses 5, or 10 for
     /// Purchase100).
@@ -31,7 +30,7 @@ impl Default for FlConfig {
 }
 
 /// Per-round measurements.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundReport {
     /// Round number (1-based).
     pub round: usize,

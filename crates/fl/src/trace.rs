@@ -9,13 +9,12 @@
 //! The sink is `Sync` (mutex-protected) so the threaded transport's client
 //! threads can share one collector.
 
-use parking_lot::Mutex;
-use serde::Serialize;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use crate::clock::{Clock, WallClock};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
 
 /// One traced protocol event.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FlEvent {
     /// A round began on the server.
     RoundStarted {
@@ -50,7 +49,7 @@ pub enum FlEvent {
 }
 
 /// A timestamped event record.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TraceRecord {
     /// Microseconds since the sink was created.
     pub at_us: u64,
@@ -72,7 +71,7 @@ pub struct TraceRecord {
 #[derive(Debug, Clone)]
 pub struct TraceSink {
     inner: Arc<Mutex<Vec<TraceRecord>>>,
-    epoch: Instant,
+    clock: Arc<dyn Clock>,
 }
 
 impl Default for TraceSink {
@@ -82,38 +81,51 @@ impl Default for TraceSink {
 }
 
 impl TraceSink {
-    /// Creates an empty sink; timestamps are relative to this moment.
+    /// Creates an empty sink timed by the wall clock; timestamps are
+    /// relative to this moment.
     pub fn new() -> Self {
+        TraceSink::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// Creates an empty sink timed by an injected [`Clock`] — pair with
+    /// [`ManualClock`](crate::clock::ManualClock) for replayable timestamps.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
         TraceSink {
             inner: Arc::new(Mutex::new(Vec::new())),
-            epoch: Instant::now(),
+            clock,
         }
+    }
+
+    /// Locks the record buffer, absorbing poison: a panicked emitter leaves
+    /// a valid (if truncated) log, which is still worth reading.
+    fn records_mut(&self) -> std::sync::MutexGuard<'_, Vec<TraceRecord>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Records an event with the current timestamp.
     pub fn emit(&self, event: FlEvent) {
-        let at_us = self.epoch.elapsed().as_micros() as u64;
-        self.inner.lock().push(TraceRecord { at_us, event });
+        let at_us = u64::try_from(self.clock.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.records_mut().push(TraceRecord { at_us, event });
     }
 
     /// Number of recorded events.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.records_mut().len()
     }
 
     /// `true` if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.records_mut().is_empty()
     }
 
     /// Snapshot of all records in emission order.
     pub fn records(&self) -> Vec<TraceRecord> {
-        self.inner.lock().clone()
+        self.records_mut().clone()
     }
 
     /// Clears the log.
     pub fn clear(&self) {
-        self.inner.lock().clear();
+        self.records_mut().clear();
     }
 
     /// Rolls the log up into a summary.
@@ -158,7 +170,7 @@ impl TraceSink {
 }
 
 /// Aggregated view of a trace.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TraceSummary {
     /// Total events recorded.
     pub events: usize,
@@ -309,6 +321,19 @@ mod tests {
         }
         assert_eq!(sink.len(), 100);
         assert_eq!(sink.summary().trainings_per_client.len(), 4);
+    }
+
+    #[test]
+    fn manual_clock_makes_timestamps_deterministic() {
+        let clock = Arc::new(crate::clock::ManualClock::new());
+        let sink = TraceSink::with_clock(clock.clone());
+        sink.emit(FlEvent::RoundStarted { round: 1 });
+        clock.advance(Duration::from_micros(1500));
+        sink.emit(FlEvent::Aggregated { round: 1, updates: 2 });
+        let records = sink.records();
+        assert_eq!(records[0].at_us, 0);
+        assert_eq!(records[1].at_us, 1500);
+        assert_eq!(sink.summary().span, Duration::from_micros(1500));
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! the sequential engine given the same seeds (asserted by the integration
 //! tests).
 
+use crate::clock::{Clock, WallClock};
 use crate::{ClientUpdate, FlClient, FlError, FlSystem, Result, RoundReport};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use dinar_metrics::cost::CostSample;
 use dinar_nn::ModelParams;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread;
 
 /// A message from the server to a client.
@@ -67,21 +69,37 @@ struct ClientHandle {
 /// Propagates client training and aggregation errors; a panicked client
 /// thread surfaces as [`FlError::InvalidConfig`] naming the client.
 pub fn run_threaded(system: FlSystem, rounds: usize) -> Result<(FlSystem, Vec<RoundReport>)> {
+    run_threaded_with_clock(system, rounds, Arc::new(WallClock::new()))
+}
+
+/// [`run_threaded`] with an injected [`Clock`] for the per-round cost
+/// timings — pair with [`ManualClock`](crate::clock::ManualClock) to make
+/// the reported `CostSample`s deterministic in replay tests.
+///
+/// # Errors
+///
+/// Same conditions as [`run_threaded`].
+pub fn run_threaded_with_clock(
+    system: FlSystem,
+    rounds: usize,
+    clock: Arc<dyn Clock>,
+) -> Result<(FlSystem, Vec<RoundReport>)> {
     let (mut server, clients, rounds_before) = system.into_parts();
-    let (update_tx, update_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = unbounded();
+    let (update_tx, update_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = channel();
 
     // Spawn one thread per client; each owns its client state for the whole
     // training run and speaks only through channels.
     let mut handles: Vec<ClientHandle> = Vec::with_capacity(clients.len());
     for mut client in clients {
-        let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = unbounded();
+        let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = channel();
         let updates = update_tx.clone();
+        let client_clock = clock.clone();
         let join = thread::spawn(move || -> Result<FlClient> {
             while let Ok(msg) = rx.recv() {
                 match msg {
                     ServerMsg::Shutdown => break,
                     ServerMsg::StartRound { round, global } => {
-                        let t0 = std::time::Instant::now();
+                        let t0 = client_clock.elapsed();
                         client.receive_global(&global)?;
                         let train_loss = client.train_local()?;
                         let update = client.produce_update()?;
@@ -91,7 +109,10 @@ pub fn run_threaded(system: FlSystem, rounds: usize) -> Result<(FlSystem, Vec<Ro
                             round,
                             update,
                             train_loss,
-                            train_s: t0.elapsed().as_secs_f64(),
+                            train_s: client_clock
+                                .elapsed()
+                                .saturating_sub(t0)
+                                .as_secs_f64(),
                         });
                     }
                 }
@@ -140,7 +161,7 @@ pub fn run_threaded(system: FlSystem, rounds: usize) -> Result<(FlSystem, Vec<Ro
         let train_s_sum: f64 = updates.iter().map(|m| m.train_s).sum();
         let round_updates: Vec<ClientUpdate> =
             updates.into_iter().map(|m| m.update).collect();
-        let t0 = std::time::Instant::now();
+        let t0 = clock.elapsed();
         if let Err(e) = server.aggregate(&round_updates) {
             error = Some(e);
             break 'rounds;
@@ -150,7 +171,7 @@ pub fn run_threaded(system: FlSystem, rounds: usize) -> Result<(FlSystem, Vec<Ro
             mean_train_loss: (loss_sum / num_clients.max(1) as f64) as f32,
             cost: CostSample {
                 client_train_s: train_s_sum / num_clients.max(1) as f64,
-                server_agg_s: t0.elapsed().as_secs_f64(),
+                server_agg_s: clock.elapsed().saturating_sub(t0).as_secs_f64(),
                 // Memory accounting is process-global and would attribute
                 // concurrent clients to each other; the sequential engine is
                 // the cost-measurement mode.
@@ -256,6 +277,18 @@ mod tests {
         assert_eq!(ids, vec![0, 1, 2]);
         // Learning actually happened.
         assert!(reports[2].mean_train_loss < reports[0].mean_train_loss);
+    }
+
+    #[test]
+    fn manual_clock_yields_deterministic_cost_timings() {
+        let clock = Arc::new(crate::clock::ManualClock::new());
+        let (_, reports) = run_threaded_with_clock(build_system(), 2, clock).unwrap();
+        // The clock never advances, so every timing is exactly zero — the
+        // replay-determinism property L002 exists to protect.
+        for r in &reports {
+            assert_eq!(r.cost.client_train_s, 0.0);
+            assert_eq!(r.cost.server_agg_s, 0.0);
+        }
     }
 
     #[test]

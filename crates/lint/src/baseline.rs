@@ -1,0 +1,237 @@
+//! The ratcheting baseline: existing violations are recorded, new ones fail.
+//!
+//! `lint-baseline.json` maps `rule -> file -> count`. A lint run fails only
+//! when some (rule, file) count **rises** above its recorded value — so the
+//! recorded debt can be paid down incrementally (falling counts always pass,
+//! and `--update-baseline` re-records them) while regressions are impossible
+//! to land.
+
+use crate::rules::{count_findings, Finding};
+use crate::LintError;
+use dinar_tensor::json::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Default baseline file name, looked up at the workspace root.
+pub const BASELINE_FILE: &str = "lint-baseline.json";
+
+/// Per-rule, per-file violation counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    counts: BTreeMap<String, BTreeMap<String, usize>>,
+}
+
+/// One (rule, file) pair whose count rose above the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Regression {
+    /// Rule identifier (`"L001"`, …).
+    pub rule: String,
+    /// Repo-relative file path.
+    pub file: String,
+    /// Count recorded in the baseline (0 for new files).
+    pub baseline: usize,
+    /// Count observed now.
+    pub current: usize,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {} violation(s), baseline allows {}",
+            self.rule, self.file, self.current, self.baseline
+        )
+    }
+}
+
+impl ToJson for Baseline {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.counts
+                .iter()
+                .map(|(rule, files)| {
+                    (
+                        rule.clone(),
+                        Json::Obj(
+                            files
+                                .iter()
+                                .map(|(file, n)| (file.clone(), n.to_json()))
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+impl Baseline {
+    /// Builds a baseline from a set of findings.
+    pub fn from_findings(findings: &[Finding]) -> Self {
+        Baseline {
+            counts: count_findings(findings),
+        }
+    }
+
+    /// The recorded count for a (rule, file) pair.
+    pub fn count(&self, rule: &str, file: &str) -> usize {
+        self.counts
+            .get(rule)
+            .and_then(|files| files.get(file))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total recorded violations for one rule.
+    pub fn rule_total(&self, rule: &str) -> usize {
+        self.counts
+            .get(rule)
+            .map(|files| files.values().sum())
+            .unwrap_or(0)
+    }
+
+    /// Every (rule, file) pair whose count in `current` exceeds this
+    /// baseline — the ratchet check. Falling counts are not reported.
+    pub fn regressions(&self, current: &Baseline) -> Vec<Regression> {
+        let mut out = Vec::new();
+        for (rule, files) in &current.counts {
+            for (file, &n) in files {
+                let allowed = self.count(rule, file);
+                if n > allowed {
+                    out.push(Regression {
+                        rule: rule.clone(),
+                        file: file.clone(),
+                        baseline: allowed,
+                        current: n,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes to the committed JSON format (pretty, stable ordering).
+    pub fn dump(&self) -> String {
+        let mut text = self.to_json().dump_pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Parses the committed JSON format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LintError::BadBaseline`] on malformed JSON or a
+    /// non-`rule -> file -> count` shape.
+    pub fn parse(text: &str) -> Result<Self, LintError> {
+        let value = Json::parse(text).map_err(|e| LintError::BadBaseline {
+            reason: e.to_string(),
+        })?;
+        let rules = value.as_obj().ok_or_else(|| LintError::BadBaseline {
+            reason: "top level is not an object".to_string(),
+        })?;
+        let mut counts = BTreeMap::new();
+        for (rule, files_value) in rules {
+            let files = files_value.as_obj().ok_or_else(|| LintError::BadBaseline {
+                reason: format!("entry `{rule}` is not an object"),
+            })?;
+            let mut per_file = BTreeMap::new();
+            for (file, n) in files {
+                let n = n.as_usize().ok_or_else(|| LintError::BadBaseline {
+                    reason: format!("count for `{rule}` / `{file}` is not a non-negative integer"),
+                })?;
+                per_file.insert(file.clone(), n);
+            }
+            counts.insert(rule.clone(), per_file);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Loads the baseline from `path`; a missing file is an empty baseline
+    /// (every existing violation then counts as a regression).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LintError::Io`] for unreadable files and
+    /// [`LintError::BadBaseline`] for malformed content.
+    pub fn load(path: &Path) -> Result<Self, LintError> {
+        if !path.exists() {
+            return Ok(Baseline::default());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| LintError::Io {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        Baseline::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn finding(rule: Rule, file: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn rising_count_is_a_regression() {
+        let baseline = Baseline::from_findings(&[finding(Rule::L001, "a.rs")]);
+        let current = Baseline::from_findings(&[
+            finding(Rule::L001, "a.rs"),
+            finding(Rule::L001, "a.rs"),
+        ]);
+        let regs = baseline.regressions(&current);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].baseline, 1);
+        assert_eq!(regs[0].current, 2);
+    }
+
+    #[test]
+    fn falling_and_equal_counts_pass() {
+        let baseline = Baseline::from_findings(&[
+            finding(Rule::L001, "a.rs"),
+            finding(Rule::L001, "a.rs"),
+            finding(Rule::L002, "b.rs"),
+        ]);
+        let current = Baseline::from_findings(&[
+            finding(Rule::L001, "a.rs"),
+            finding(Rule::L002, "b.rs"),
+        ]);
+        assert!(baseline.regressions(&current).is_empty());
+    }
+
+    #[test]
+    fn new_file_counts_as_regression_from_zero() {
+        let baseline = Baseline::default();
+        let current = Baseline::from_findings(&[finding(Rule::L004, "new.rs")]);
+        let regs = baseline.regressions(&current);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].baseline, 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let baseline = Baseline::from_findings(&[
+            finding(Rule::L001, "a.rs"),
+            finding(Rule::L001, "b.rs"),
+            finding(Rule::L005, "Cargo.toml"),
+        ]);
+        let parsed = Baseline::parse(&baseline.dump()).expect("roundtrip");
+        assert_eq!(parsed, baseline);
+        assert_eq!(parsed.rule_total("L001"), 2);
+    }
+
+    #[test]
+    fn malformed_baseline_rejected() {
+        assert!(Baseline::parse("{ not json").is_err());
+        assert!(Baseline::parse("{\"L001\": 3}").is_err());
+        assert!(Baseline::parse("{\"L001\": {\"a.rs\": -1}}").is_err());
+    }
+}

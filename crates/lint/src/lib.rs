@@ -1,0 +1,203 @@
+//! # dinar-lint
+//!
+//! An in-repo, token-level static-analysis pass for the DINAR workspace.
+//! The reproduction's claims (attack AUC, per-layer sensitivity, figure
+//! regeneration) depend on determinism and error-handling discipline that
+//! generic tooling cannot check, so this crate enforces five repo-specific
+//! invariants:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | L001 | no `unwrap()`/`expect()` in non-test library code |
+//! | L002 | no nondeterminism sources (`thread_rng`, `SystemTime::now`, `Instant::now`, `HashMap`) in the deterministic crates |
+//! | L003 | every `pub enum *Error` implements `Display + std::error::Error` |
+//! | L004 | no bare `as` numeric casts in the tensor hot paths (use `dinar_tensor::cast`) |
+//! | L005 | every manifest declares only in-repo dependencies (hermetic builds) |
+//!
+//! Pre-existing violations live in a committed [`baseline::BASELINE_FILE`]
+//! and only *rising* counts fail (the ratchet), so the debt shrinks
+//! monotonically without blocking unrelated work. Run the CLI with
+//! `cargo run -p dinar-lint`, regenerate the baseline after intentional
+//! fixes with `cargo run -p dinar-lint -- --update-baseline`, and rely on
+//! the umbrella `tests/lint.rs` gate to enforce the ratchet in `cargo test`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod rules;
+pub mod strip;
+
+pub use baseline::{Baseline, Regression, BASELINE_FILE};
+pub use rules::{Finding, Rule};
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors from the linter itself (I/O and baseline parsing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LintError {
+    /// A file or directory could not be read.
+    Io {
+        /// Offending path.
+        path: String,
+        /// Underlying error text.
+        reason: String,
+    },
+    /// `lint-baseline.json` is malformed.
+    BadBaseline {
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, reason } => write!(f, "cannot read {path}: {reason}"),
+            LintError::BadBaseline { reason } => {
+                write!(f, "malformed lint baseline: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    std::fs::read_to_string(path).map_err(|e| LintError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    })
+}
+
+/// Repo-relative path with forward slashes (stable across platforms, used
+/// as the baseline key).
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn rs_files_under(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError::Io {
+        path: dir.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError::Io {
+            path: dir.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        let path = entry.path();
+        if path.is_dir() {
+            rs_files_under(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The crate directories under `crates/`, sorted by name.
+fn crate_dirs(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates).map_err(|e| LintError::Io {
+        path: crates.display().to_string(),
+        reason: e.to_string(),
+    })?;
+    let mut dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir() && p.join("Cargo.toml").exists())
+        .collect();
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Package names defined by manifests in this repo (the L005 allow-list).
+fn in_repo_packages(root: &Path, crate_dirs: &[PathBuf]) -> Result<BTreeSet<String>, LintError> {
+    let mut names = BTreeSet::new();
+    let mut manifests: Vec<PathBuf> = crate_dirs.iter().map(|d| d.join("Cargo.toml")).collect();
+    manifests.push(root.join("Cargo.toml"));
+    for manifest in manifests {
+        let text = read(&manifest)?;
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(value) = line.strip_prefix("name = ") {
+                names.insert(value.trim_matches('"').to_string());
+                break; // first `name =` is the package name
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file under
+/// `crates/*/src` and `tests/`, plus every `Cargo.toml`.
+///
+/// # Errors
+///
+/// Returns [`LintError::Io`] if the tree cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
+    let dirs = crate_dirs(root)?;
+    let mut findings = Vec::new();
+
+    // Per-file rules (L001/L002/L004) over crates/*/src and tests/.
+    let mut files = Vec::new();
+    for dir in &dirs {
+        rs_files_under(&dir.join("src"), &mut files)?;
+    }
+    rs_files_under(&root.join("tests"), &mut files)?;
+    files.sort();
+    for file in &files {
+        let source = read(file)?;
+        findings.extend(rules::check_source(&rel(root, file), &source));
+    }
+
+    // L003 needs whole-crate visibility (impls may live away from the enum).
+    for dir in &dirs {
+        let mut crate_files = Vec::new();
+        rs_files_under(&dir.join("src"), &mut crate_files)?;
+        crate_files.sort();
+        let mut sources = Vec::new();
+        for file in &crate_files {
+            sources.push((rel(root, file), read(file)?));
+        }
+        findings.extend(rules::check_l003(&sources));
+    }
+
+    // L005 over every manifest, including the workspace root.
+    let in_repo = in_repo_packages(root, &dirs)?;
+    let mut manifests: Vec<PathBuf> = dirs.iter().map(|d| d.join("Cargo.toml")).collect();
+    manifests.push(root.join("Cargo.toml"));
+    for manifest in manifests {
+        let text = read(&manifest)?;
+        findings.extend(rules::check_manifest(&rel(root, &manifest), &text, &in_repo));
+    }
+
+    findings.sort_by(|a, b| (a.rule, &a.file, a.line).cmp(&(b.rule, &b.file, b.line)));
+    Ok(findings)
+}
+
+/// Runs the full ratchet check: lint the workspace and compare against the
+/// committed baseline. Returns the findings and any regressions.
+///
+/// # Errors
+///
+/// Returns [`LintError`] for unreadable trees or a malformed baseline.
+pub fn check_against_baseline(root: &Path) -> Result<(Vec<Finding>, Vec<Regression>), LintError> {
+    let findings = lint_workspace(root)?;
+    let recorded = Baseline::load(&root.join(BASELINE_FILE))?;
+    let current = Baseline::from_findings(&findings);
+    let regressions = recorded.regressions(&current);
+    Ok((findings, regressions))
+}

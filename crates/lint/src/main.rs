@@ -1,0 +1,124 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! cargo run -p dinar-lint                      # ratchet check (exit 1 on regressions)
+//! cargo run -p dinar-lint -- --verbose         # also list every current finding
+//! cargo run -p dinar-lint -- --update-baseline # re-record lint-baseline.json
+//! cargo run -p dinar-lint -- --root <dir>      # lint another workspace root
+//! ```
+
+use dinar_lint::{check_against_baseline, lint_workspace, Baseline, Rule, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    update_baseline: bool,
+    verbose: bool,
+}
+
+const USAGE: &str = "usage: dinar-lint [--root DIR] [--update-baseline] [--verbose]";
+
+/// `Ok(None)` means `--help`: print usage and exit successfully.
+fn parse_args() -> Result<Option<Options>, String> {
+    let mut options = Options {
+        root: workspace_root(),
+        update_baseline: false,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-baseline" => options.update_baseline = true,
+            "--verbose" | "-v" => options.verbose = true,
+            "--root" => {
+                options.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root requires a path".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Some(options))
+}
+
+/// The workspace root: this crate's manifest dir is `<root>/crates/lint`.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(Some(options)) => options,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.update_baseline {
+        let findings = match lint_workspace(&options.root) {
+            Ok(findings) => findings,
+            Err(e) => {
+                eprintln!("lint failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = Baseline::from_findings(&findings);
+        let path = options.root.join(BASELINE_FILE);
+        if let Err(e) = std::fs::write(&path, baseline.dump()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("recorded {} finding(s) in {}", findings.len(), path.display());
+        for rule in Rule::all() {
+            println!("  {:<5} {:>4}  {}", rule.id(), baseline.rule_total(rule.id()), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (findings, regressions) = match check_against_baseline(&options.root) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("lint failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.verbose {
+        for finding in &findings {
+            println!("{finding}");
+        }
+    }
+    let current = Baseline::from_findings(&findings);
+    println!("lint: {} finding(s) against baseline:", findings.len());
+    for rule in Rule::all() {
+        println!("  {:<5} {:>4}  {}", rule.id(), current.rule_total(rule.id()), rule.description());
+    }
+
+    if regressions.is_empty() {
+        println!("ratchet OK: no (rule, file) count rose above {BASELINE_FILE}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nratchet FAILED — {} regression(s):", regressions.len());
+        for regression in &regressions {
+            eprintln!("  {regression}");
+        }
+        eprintln!(
+            "\nfix the new violations (or, for intentional changes, run \
+             `cargo run -p dinar-lint -- --update-baseline` and commit {BASELINE_FILE})"
+        );
+        ExitCode::FAILURE
+    }
+}

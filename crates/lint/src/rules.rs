@@ -1,0 +1,452 @@
+//! The rule catalog: five repo-specific invariants (L001–L005).
+//!
+//! Each rule is a pure function from preprocessed sources (or manifests) to
+//! [`Finding`]s, so the unit tests can drive them with inline fixtures and
+//! the CLI/umbrella gate can drive them with the real workspace.
+
+use crate::strip::{strip, Stripped};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A lint rule identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// No `unwrap()`/`expect()` in non-test library code.
+    L001,
+    /// No nondeterminism sources in the deterministic crates.
+    L002,
+    /// Every public `*Error` enum implements `Display + std::error::Error`.
+    L003,
+    /// No bare `as` numeric casts in the tensor hot paths.
+    L004,
+    /// Workspace manifests declare only in-repo dependencies.
+    L005,
+}
+
+impl Rule {
+    /// The rule's stable identifier, as used in `lint: allow(...)`
+    /// annotations and `lint-baseline.json` keys.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+            Rule::L004 => "L004",
+            Rule::L005 => "L005",
+        }
+    }
+
+    /// One-line description for CLI output.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::L001 => "no unwrap()/expect() in non-test library code",
+            Rule::L002 => "no nondeterminism sources in deterministic crates",
+            Rule::L003 => "public Error enums must implement Display + std::error::Error",
+            Rule::L004 => "no bare `as` numeric casts in tensor hot paths",
+            Rule::L005 => "manifests may declare only in-repo dependencies",
+        }
+    }
+
+    /// All rules, in catalog order.
+    pub fn all() -> [Rule; 5] {
+        [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005]
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule violation at a specific location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Repo-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} {}",
+            self.rule.id(),
+            self.file,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Crates whose behaviour must be a pure function of their seeds. `bench`
+/// measures real time by design and `lint` is tooling; everything else in
+/// the workspace feeds figures that must replay bit-identically.
+pub const DETERMINISTIC_CRATES: [&str; 9] = [
+    "tensor",
+    "nn",
+    "core",
+    "defenses",
+    "attacks",
+    "consensus",
+    "fl",
+    "metrics",
+    "data",
+];
+
+/// Tensor hot-path files subject to L004.
+pub const HOT_PATHS: [&str; 2] = ["crates/tensor/src/tensor.rs", "crates/tensor/src/conv.rs"];
+
+/// Nondeterminism tokens banned by L002. `HashMap` is banned wholesale:
+/// its iteration order varies per process, so deterministic crates use
+/// `BTreeMap`/`Vec` (or carry an `// lint: allow(L002, reason)`).
+const L002_TOKENS: [&str; 4] = ["thread_rng", "SystemTime::now", "Instant::now", "HashMap"];
+
+/// Bare-cast tokens banned by L004 in the hot paths. Lossless widenings
+/// (`as f64`, `as u64` from `u32`, …) are allowed; these four either
+/// truncate, round, or wrap silently.
+const L004_TOKENS: [&str; 4] = ["as f32", "as usize", "as u32", "as i32"];
+
+/// Is the byte at `idx` the start of a word-bounded occurrence of `needle`?
+fn word_bounded(line: &str, idx: usize, needle: &str) -> bool {
+    let before_ok = idx == 0
+        || line[..idx]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+    let after = idx + needle.len();
+    let after_ok = line[after..]
+        .chars()
+        .next()
+        .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+    before_ok && after_ok
+}
+
+/// All word-bounded occurrences of `needle` in `line`.
+fn occurrences(line: &str, needle: &str) -> usize {
+    let mut count = 0;
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let idx = start + pos;
+        if word_bounded(line, idx, needle) {
+            count += 1;
+        }
+        start = idx + needle.len();
+    }
+    count
+}
+
+/// Runs every per-file rule against one preprocessed source file.
+pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
+    let stripped = strip(source);
+    let mut findings = Vec::new();
+    check_l001(path, &stripped, &mut findings);
+    check_l002(path, &stripped, &mut findings);
+    check_l004(path, &stripped, &mut findings);
+    findings
+}
+
+/// L001: `.unwrap()` / `.expect(` in non-test library code.
+fn check_l001(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    if !path.contains("/src/") {
+        return; // integration tests and examples are exempt
+    }
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L001", n) {
+            continue;
+        }
+        let hits = line.matches(".unwrap()").count() + line.matches(".expect(").count();
+        for _ in 0..hits {
+            findings.push(Finding {
+                rule: Rule::L001,
+                file: path.to_string(),
+                line: n,
+                message: "unwrap()/expect() in library code; return a Result or document \
+                          the invariant with `lint: allow(L001, reason)`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// L002: nondeterminism sources in deterministic crates.
+fn check_l002(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    let in_deterministic = DETERMINISTIC_CRATES
+        .iter()
+        .any(|c| path.starts_with(&format!("crates/{c}/src/")));
+    if !in_deterministic {
+        return;
+    }
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L002", n) {
+            continue;
+        }
+        for token in L002_TOKENS {
+            for _ in 0..occurrences(line, token) {
+                findings.push(Finding {
+                    rule: Rule::L002,
+                    file: path.to_string(),
+                    line: n,
+                    message: format!(
+                        "`{token}` is a nondeterminism source; inject a seeded/manual \
+                         substitute or annotate `lint: allow(L002, reason)`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L004: bare numeric casts in the tensor hot paths.
+fn check_l004(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    if !HOT_PATHS.contains(&path) {
+        return;
+    }
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L004", n) {
+            continue;
+        }
+        for token in L004_TOKENS {
+            for _ in 0..occurrences(line, token) {
+                findings.push(Finding {
+                    rule: Rule::L004,
+                    file: path.to_string(),
+                    line: n,
+                    message: format!(
+                        "bare `{token}` cast in a tensor hot path; use the checked \
+                         helpers in dinar_tensor::cast"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L003: every `pub enum *Error` must have `Display` and `std::error::Error`
+/// impls somewhere in the same crate. Takes all of one crate's sources at
+/// once because the impls usually live beside the enum but may not.
+pub fn check_l003(sources: &[(String, String)]) -> Vec<Finding> {
+    let mut enums: Vec<(String, usize, String)> = Vec::new(); // (file, line, name)
+    let mut impl_text = String::new();
+    for (path, source) in sources {
+        let stripped = strip(source);
+        for (i, line) in stripped.lines.iter().enumerate() {
+            if let Some(pos) = line.find("pub enum ") {
+                let name: String = line[pos + "pub enum ".len()..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if name.ends_with("Error") {
+                    enums.push((path.clone(), i + 1, name));
+                }
+            }
+            if line.contains("impl") {
+                impl_text.push_str(line);
+                impl_text.push('\n');
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for (file, line, name) in enums {
+        let has_display = impl_text.contains(&format!("Display for {name}"));
+        let has_error = impl_text.contains(&format!("Error for {name}"));
+        if !(has_display && has_error) {
+            let missing = match (has_display, has_error) {
+                (false, false) => "Display and std::error::Error",
+                (false, true) => "Display",
+                (true, false) => "std::error::Error",
+                (true, true) => unreachable!(),
+            };
+            findings.push(Finding {
+                rule: Rule::L003,
+                file,
+                line,
+                message: format!("public error enum `{name}` is missing impl(s): {missing}"),
+            });
+        }
+    }
+    findings
+}
+
+/// L005: a manifest may declare only dependencies whose names appear in
+/// `in_repo` (the set of workspace package names), and `[workspace.dependencies]`
+/// entries must be `path` dependencies.
+pub fn check_manifest(path: &str, manifest: &str, in_repo: &BTreeSet<String>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    for (i, raw) in manifest.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let dep_section = matches!(
+            section.as_str(),
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        ) || section == "workspace.dependencies";
+        if !dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let name: String = line
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        if !in_repo.contains(&name) {
+            findings.push(Finding {
+                rule: Rule::L005,
+                file: path.to_string(),
+                line: i + 1,
+                message: format!(
+                    "dependency `{name}` is not an in-repo workspace package; the build \
+                     must stay hermetic"
+                ),
+            });
+        } else if section == "workspace.dependencies" && !line.contains("path") {
+            findings.push(Finding {
+                rule: Rule::L005,
+                file: path.to_string(),
+                line: i + 1,
+                message: format!("workspace dependency `{name}` must be a path dependency"),
+            });
+        }
+    }
+    findings
+}
+
+/// Aggregates findings into per-rule, per-file counts (the baseline shape).
+pub fn count_findings(findings: &[Finding]) -> BTreeMap<String, BTreeMap<String, usize>> {
+    let mut counts: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    for f in findings {
+        *counts
+            .entry(f.rule.id().to_string())
+            .or_default()
+            .entry(f.file.clone())
+            .or_default() += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l001_flags_library_unwrap_but_not_tests_or_allows() {
+        let src = "fn lib() { x.unwrap(); y.expect(\"m\"); }\n\
+                   fn ok() { z.unwrap_or(0); } // lint: allow(L001, not needed)\n\
+                   #[cfg(test)]\nmod tests { fn t() { q.unwrap(); } }\n";
+        let findings = check_source("crates/nn/src/model.rs", src);
+        let l001: Vec<_> = findings.iter().filter(|f| f.rule == Rule::L001).collect();
+        assert_eq!(l001.len(), 2, "{l001:?}");
+        assert!(l001.iter().all(|f| f.line == 1));
+    }
+
+    #[test]
+    fn l001_skips_non_src_paths() {
+        let findings = check_source("tests/end_to_end.rs", "fn t() { x.unwrap(); }");
+        assert!(findings.iter().all(|f| f.rule != Rule::L001));
+    }
+
+    #[test]
+    fn l002_flags_nondeterminism_in_deterministic_crates_only() {
+        let src = "fn f() { let t = Instant::now(); let m: HashMap<u32, u32> = HashMap::new(); }";
+        let hits = check_source("crates/fl/src/x.rs", src)
+            .iter()
+            .filter(|f| f.rule == Rule::L002)
+            .count();
+        assert_eq!(hits, 3); // Instant::now + 2×HashMap
+        let bench = check_source("crates/bench/src/x.rs", src);
+        assert!(bench.iter().all(|f| f.rule != Rule::L002));
+    }
+
+    #[test]
+    fn l002_allow_annotation_suppresses() {
+        let src = "// lint: allow(L002, timer by design)\nlet t = Instant::now();\n";
+        let findings = check_source("crates/metrics/src/cost.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L002), "{findings:?}");
+    }
+
+    #[test]
+    fn l002_ignores_comments_and_strings() {
+        let src = "// Instant::now is banned\nlet s = \"Instant::now\";\n";
+        let findings = check_source("crates/tensor/src/x.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L002));
+    }
+
+    #[test]
+    fn l003_detects_missing_impls() {
+        let bad = vec![(
+            "crates/x/src/error.rs".to_string(),
+            "pub enum XError { A }\nimpl fmt::Display for XError { }".to_string(),
+        )];
+        let findings = check_l003(&bad);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("std::error::Error"));
+
+        let good = vec![(
+            "crates/x/src/error.rs".to_string(),
+            "pub enum XError { A }\nimpl fmt::Display for XError { }\n\
+             impl std::error::Error for XError {}"
+                .to_string(),
+        )];
+        assert!(check_l003(&good).is_empty());
+    }
+
+    #[test]
+    fn l003_ignores_non_error_enums_and_private_enums() {
+        let sources = vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "pub enum Shape { A }\nenum InnerError { B }".to_string(),
+        )];
+        assert!(check_l003(&sources).is_empty());
+    }
+
+    #[test]
+    fn l004_flags_bare_casts_in_hot_paths_only() {
+        let src = "fn f(x: f32, n: usize) { let a = x as usize; let b = n as f32; let c = n as f64; }";
+        let hot = check_source("crates/tensor/src/tensor.rs", src);
+        assert_eq!(hot.iter().filter(|f| f.rule == Rule::L004).count(), 2);
+        let cold = check_source("crates/tensor/src/rng.rs", src);
+        assert!(cold.iter().all(|f| f.rule != Rule::L004));
+    }
+
+    #[test]
+    fn l004_allow_annotation_suppresses() {
+        let src = "let a = x as usize; // lint: allow(L004, bounds-checked above)";
+        let findings = check_source("crates/tensor/src/conv.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L004));
+    }
+
+    #[test]
+    fn l005_flags_registry_deps() {
+        let mut in_repo = BTreeSet::new();
+        in_repo.insert("dinar-tensor".to_string());
+        let manifest = "[package]\nname = \"x\"\n[dependencies]\n\
+                        dinar-tensor.workspace = true\nserde = \"1\"\n";
+        let findings = check_manifest("crates/x/Cargo.toml", manifest, &in_repo);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn l005_requires_path_workspace_deps() {
+        let mut in_repo = BTreeSet::new();
+        in_repo.insert("dinar-tensor".to_string());
+        let good = "[workspace.dependencies]\ndinar-tensor = { path = \"crates/tensor\" }\n";
+        assert!(check_manifest("Cargo.toml", good, &in_repo).is_empty());
+        let bad = "[workspace.dependencies]\ndinar-tensor = \"0.1\"\n";
+        assert_eq!(check_manifest("Cargo.toml", bad, &in_repo).len(), 1);
+    }
+}

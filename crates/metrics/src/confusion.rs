@@ -4,11 +4,10 @@
 //! non-IID experiments (Fig. 8), where skewed client shards produce models
 //! that are accurate only on their majority classes.
 
-use serde::Serialize;
 
 /// A `classes × classes` confusion matrix (`rows = truth`, `cols =
 /// prediction`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     classes: usize,
     counts: Vec<u64>,

@@ -6,7 +6,7 @@
 //! bytes measured through `dinar_tensor::alloc`.
 
 use dinar_tensor::alloc::MemoryScope;
-use serde::{Deserialize, Serialize};
+use dinar_tensor::json::{Json, ToJson};
 use std::time::{Duration, Instant};
 
 /// A running stopwatch accumulating durations across start/stop cycles.
@@ -26,6 +26,7 @@ impl Stopwatch {
     /// Starts (or restarts) timing. Calling `start` twice without `stop`
     /// restarts the current lap.
     pub fn start(&mut self) {
+        // lint: allow(L002, cost accounting measures real wall-clock time by design)
         self.started = Some(Instant::now());
     }
 
@@ -66,7 +67,7 @@ impl Stopwatch {
 }
 
 /// A cost sample for one FL configuration: the three Table 3 columns.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostSample {
     /// Mean client-side training duration per FL round, in seconds.
     pub client_train_s: f64,
@@ -76,7 +77,29 @@ pub struct CostSample {
     pub client_peak_mem_bytes: u64,
 }
 
+impl ToJson for CostSample {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("client_train_s", self.client_train_s.to_json()),
+            ("server_agg_s", self.server_agg_s.to_json()),
+            ("client_peak_mem_bytes", self.client_peak_mem_bytes.to_json()),
+        ])
+    }
+}
+
 impl CostSample {
+    /// Reconstructs a sample from its [`ToJson`] encoding.
+    ///
+    /// Returns `None` if any of the three fields is missing or has the
+    /// wrong type.
+    pub fn from_json(value: &Json) -> Option<Self> {
+        Some(CostSample {
+            client_train_s: value.get("client_train_s").and_then(Json::as_f64)?,
+            server_agg_s: value.get("server_agg_s").and_then(Json::as_f64)?,
+            client_peak_mem_bytes: value.get("client_peak_mem_bytes").and_then(Json::as_u64)?,
+        })
+    }
+
     /// Relative overhead of `self` against a `baseline` sample, as the three
     /// Table 3 percentages (client time, aggregation time, memory).
     ///
@@ -101,7 +124,7 @@ impl CostSample {
 }
 
 /// Percentage overheads relative to the undefended FL baseline (Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostOverhead {
     /// Client training-time overhead in percent.
     pub client_train_pct: f64,
@@ -114,6 +137,7 @@ pub struct CostOverhead {
 /// Measures a closure's wall-clock time and peak extra tensor memory.
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration, u64) {
     let scope = MemoryScope::enter();
+    // lint: allow(L002, cost accounting measures real wall-clock time by design)
     let t0 = Instant::now();
     let out = f();
     let elapsed = t0.elapsed();

@@ -6,10 +6,9 @@
 //! We realize that as the JS divergence between *histograms* of the two
 //! gradient populations over a shared binning.
 
-use serde::Serialize;
 
 /// A fixed-width histogram over a closed range.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

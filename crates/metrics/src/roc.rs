@@ -6,7 +6,6 @@
 //! every possible decision threshold, which is why the paper prefers it to
 //! accuracy at a single threshold.
 
-use serde::Serialize;
 
 /// Computes the AUC of a scoring attacker.
 ///
@@ -71,7 +70,7 @@ pub fn reported_attack_auc(member_scores: &[f32], nonmember_scores: &[f32]) -> f
 }
 
 /// A point on the ROC curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RocPoint {
     /// False-positive rate.
     pub fpr: f64,

@@ -1,6 +1,6 @@
 //! Small summary-statistics helpers used by the experiment reports.
 
-use serde::Serialize;
+use dinar_tensor::json::{Json, ToJson};
 
 /// Mean of a sample (0 for an empty slice).
 pub fn mean(xs: &[f32]) -> f64 {
@@ -37,7 +37,7 @@ pub fn quantile(xs: &[f32], q: f64) -> f64 {
 }
 
 /// Five-number summary plus mean, used in experiment JSON artifacts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Minimum.
     pub min: f64,
@@ -53,6 +53,20 @@ pub struct Summary {
     pub mean: f64,
     /// Sample count.
     pub count: usize,
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("min", self.min.to_json()),
+            ("q1", self.q1.to_json()),
+            ("median", self.median.to_json()),
+            ("q3", self.q3.to_json()),
+            ("max", self.max.to_json()),
+            ("mean", self.mean.to_json()),
+            ("count", self.count.to_json()),
+        ])
+    }
 }
 
 impl Summary {

@@ -1,26 +1,18 @@
 //! Checkpointing: persist and restore model parameter state.
 //!
 //! Cross-silo deployments checkpoint the global model between rounds and
-//! exchange serialized parameters over the wire. [`ModelParams`] is fully
-//! `serde`-serializable; these helpers add a versioned JSON envelope with an
-//! architecture fingerprint so that loading into a mismatched model fails
-//! loudly instead of silently misassigning tensors.
+//! exchange serialized parameters over the wire. [`ModelParams`] implements
+//! the in-repo [`ToJson`] encoding; these helpers add a versioned JSON
+//! envelope with an architecture fingerprint so that loading into a
+//! mismatched model fails loudly instead of silently misassigning tensors.
 
 use crate::{ModelParams, NnError, Result};
-use serde::{Deserialize, Serialize};
+use dinar_tensor::json::{Json, ToJson};
 use std::fs;
 use std::path::Path;
 
 /// Envelope format version.
-const VERSION: u32 = 1;
-
-/// A serialized checkpoint: parameters plus an architecture fingerprint.
-#[derive(Debug, Serialize, Deserialize)]
-struct Checkpoint {
-    version: u32,
-    fingerprint: Vec<Vec<Vec<usize>>>,
-    params: ModelParams,
-}
+const VERSION: u64 = 1;
 
 /// Shape fingerprint of a parameter set: per layer, per tensor, the shape.
 fn fingerprint(params: &ModelParams) -> Vec<Vec<Vec<usize>>> {
@@ -38,14 +30,12 @@ fn fingerprint(params: &ModelParams) -> Vec<Vec<Vec<usize>>> {
 /// Returns [`NnError::InvalidConfig`] if serialization fails (practically
 /// impossible for in-memory parameters).
 pub fn to_json(params: &ModelParams) -> Result<String> {
-    let checkpoint = Checkpoint {
-        version: VERSION,
-        fingerprint: fingerprint(params),
-        params: params.clone(),
-    };
-    serde_json::to_string(&checkpoint).map_err(|e| NnError::InvalidConfig {
-        reason: format!("checkpoint serialization failed: {e}"),
-    })
+    let envelope = Json::obj(vec![
+        ("version", VERSION.to_json()),
+        ("fingerprint", fingerprint(params).to_json()),
+        ("params", params.to_json()),
+    ]);
+    Ok(envelope.dump())
 }
 
 /// Deserializes parameters from a JSON string, verifying the envelope.
@@ -56,24 +46,63 @@ pub fn to_json(params: &ModelParams) -> Result<String> {
 /// version, and [`NnError::ParamShapeMismatch`] if the payload's tensors do
 /// not match its own fingerprint (a corrupted or tampered checkpoint).
 pub fn from_json(json: &str) -> Result<ModelParams> {
-    let checkpoint: Checkpoint =
-        serde_json::from_str(json).map_err(|e| NnError::InvalidConfig {
-            reason: format!("malformed checkpoint: {e}"),
+    let value = Json::parse(json).map_err(|e| NnError::InvalidConfig {
+        reason: format!("malformed checkpoint: {e}"),
+    })?;
+    let version = value
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| NnError::InvalidConfig {
+            reason: "checkpoint missing numeric `version`".into(),
         })?;
-    if checkpoint.version != VERSION {
+    if version != VERSION {
         return Err(NnError::InvalidConfig {
-            reason: format!(
-                "unsupported checkpoint version {} (expected {VERSION})",
-                checkpoint.version
-            ),
+            reason: format!("unsupported checkpoint version {version} (expected {VERSION})"),
         });
     }
-    if fingerprint(&checkpoint.params) != checkpoint.fingerprint {
+    let declared = parse_fingerprint(value.get("fingerprint").ok_or_else(|| {
+        NnError::InvalidConfig {
+            reason: "checkpoint missing `fingerprint`".into(),
+        }
+    })?)?;
+    let params = ModelParams::from_json(value.get("params").ok_or_else(|| {
+        NnError::InvalidConfig {
+            reason: "checkpoint missing `params`".into(),
+        }
+    })?)?;
+    if fingerprint(&params) != declared {
         return Err(NnError::ParamShapeMismatch {
             reason: "checkpoint fingerprint does not match its tensors".into(),
         });
     }
-    Ok(checkpoint.params)
+    Ok(params)
+}
+
+/// Parses the nested shape-fingerprint array from a checkpoint envelope.
+fn parse_fingerprint(value: &Json) -> Result<Vec<Vec<Vec<usize>>>> {
+    let malformed = || NnError::InvalidConfig {
+        reason: "checkpoint `fingerprint` is not a nested array of shapes".into(),
+    };
+    value
+        .as_arr()
+        .ok_or_else(malformed)?
+        .iter()
+        .map(|layer| {
+            layer
+                .as_arr()
+                .ok_or_else(malformed)?
+                .iter()
+                .map(|shape| {
+                    shape
+                        .as_arr()
+                        .ok_or_else(malformed)?
+                        .iter()
+                        .map(|d| d.as_usize().ok_or_else(malformed))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Saves parameters to a file.

@@ -86,7 +86,34 @@ impl Model {
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g)?;
         }
+        self.check_gradients_finite();
         Ok(g)
+    }
+
+    /// With the `sanitize` feature, panics if any accumulated gradient
+    /// contains a non-finite value, naming the trainable layer that produced
+    /// it — so NaN poisoning is pinned to its source instead of surfacing as
+    /// a nonsensical metric rounds later. Compiled to nothing otherwise.
+    fn check_gradients_finite(&self) {
+        #[cfg(feature = "sanitize")]
+        for (slot, &i) in self.trainable.iter().enumerate() {
+            let layer = &self.layers[i];
+            for (tensor_idx, grad) in layer.grads().into_iter().enumerate() {
+                if let Some((flat, x)) = grad
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, x)| !x.is_finite())
+                {
+                    panic!(
+                        "sanitize: backward produced non-finite gradient {x} in \
+                         trainable layer {slot} (`{}`), gradient tensor {tensor_idx}, \
+                         flat index {flat}",
+                        layer.name()
+                    );
+                }
+            }
+        }
     }
 
     /// Runs the backward pass like [`Model::backward`], additionally
@@ -111,6 +138,7 @@ impl Model {
             }
             g = layer.backward(&g)?;
         }
+        self.check_gradients_finite();
         Ok(taps
             .into_iter()
             .map(|t| t.expect("every trainable layer was visited"))

@@ -8,18 +8,46 @@
 //! paper's fine-grained approach expressible.
 
 use crate::{NnError, Result};
+use dinar_tensor::json::{Json, ToJson};
 use dinar_tensor::Tensor;
-use serde::{Deserialize, Serialize};
 
 /// The parameters of a single trainable layer (e.g. `[weight, bias]`, or
 /// `[gamma, beta, running_mean, running_var]` for batch-norm).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerParams {
     /// The layer's tensors, in the layer's canonical order.
     pub tensors: Vec<Tensor>,
 }
 
+impl ToJson for LayerParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("tensors", self.tensors.to_json())])
+    }
+}
+
 impl LayerParams {
+    /// Reconstructs layer parameters from their [`ToJson`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the payload is not an object
+    /// with a `tensors` array of valid tensor payloads.
+    pub fn from_json(value: &Json) -> Result<Self> {
+        let tensors = value
+            .get("tensors")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| NnError::InvalidConfig {
+                reason: "layer payload missing `tensors` array".into(),
+            })?
+            .iter()
+            .map(|t| {
+                Tensor::from_json(t).map_err(|e| NnError::InvalidConfig {
+                    reason: format!("bad tensor in layer payload: {e}"),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(LayerParams { tensors })
+    }
     /// Creates a layer-parameter set from tensors.
     pub fn new(tensors: Vec<Tensor>) -> Self {
         LayerParams { tensors }
@@ -76,13 +104,37 @@ impl LayerParams {
 /// assert_eq!(params.num_layers(), 2); // two dense layers
 /// # Ok::<(), dinar_nn::NnError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelParams {
     /// Per-trainable-layer parameters.
     pub layers: Vec<LayerParams>,
 }
 
+impl ToJson for ModelParams {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("layers", self.layers.to_json())])
+    }
+}
+
 impl ModelParams {
+    /// Reconstructs model parameters from their [`ToJson`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the payload is not an object
+    /// with a `layers` array of valid layer payloads.
+    pub fn from_json(value: &Json) -> Result<Self> {
+        let layers = value
+            .get("layers")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| NnError::InvalidConfig {
+                reason: "model payload missing `layers` array".into(),
+            })?
+            .iter()
+            .map(LayerParams::from_json)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ModelParams { layers })
+    }
     /// Creates a model-parameter set from per-layer entries.
     pub fn new(layers: Vec<LayerParams>) -> Self {
         ModelParams { layers }

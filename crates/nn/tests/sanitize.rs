@@ -1,0 +1,112 @@
+//! NaN-injection tests for the runtime sanitizers (`--features sanitize`):
+//! corruption must be pinned to the op or layer that produced it, not to a
+//! downstream symptom.
+//!
+//! ```text
+//! cargo test -p dinar-tensor -p dinar-nn --features sanitize
+//! ```
+
+#![cfg(feature = "sanitize")]
+
+use dinar_nn::dense::Dense;
+use dinar_nn::loss::CrossEntropyLoss;
+use dinar_nn::models::{self, Activation};
+use dinar_nn::{Layer, LayerParams, Model};
+use dinar_tensor::{sanitize, Rng, Tensor};
+
+#[test]
+fn sanitizer_layer_is_armed() {
+    assert!(sanitize::enabled());
+}
+
+/// A NaN smuggled into a matmul operand is reported by the matmul itself
+/// (op + operand role), before it can spread.
+#[test]
+#[should_panic(expected = "`matmul` lhs contains non-finite")]
+fn nan_matmul_operand_names_the_op() {
+    let mut rng = Rng::seed_from(0);
+    let mut a = rng.randn(&[3, 4]);
+    a.set(&[1, 2], f32::NAN).unwrap();
+    let b = rng.randn(&[4, 2]);
+    let _ = a.matmul(&b);
+}
+
+/// A NaN injected into the loss gradient is caught at the first op that
+/// consumes it during backprop (the dense layer's weight-gradient product).
+#[test]
+#[should_panic(expected = "contains non-finite")]
+fn nan_loss_gradient_names_the_consuming_op() {
+    let mut rng = Rng::seed_from(1);
+    let mut model = models::mlp(&[4, 6, 3], Activation::Tanh, &mut rng).unwrap();
+    let x = rng.randn(&[5, 4]);
+    model.forward(&x, true).unwrap();
+    model.zero_grad();
+    let mut grad = rng.randn(&[5, 3]);
+    grad.set(&[2, 1], f32::NAN).unwrap();
+    let _ = model.backward(&grad);
+}
+
+/// Builds a 1→1 dense model with a tiny weight and corruption-free inputs
+/// whose *bias* gradient overflows to +∞ inside `sum_rows` — an unchecked
+/// summation path, so only the post-backward gradient check can catch it.
+fn overflowing_bias_model() -> (Model, Tensor, Tensor) {
+    let mut rng = Rng::seed_from(2);
+    let mut model = Model::new(vec![
+        Box::new(Dense::xavier(1, 1, &mut rng)) as Box<dyn Layer>
+    ]);
+    let weight = Tensor::from_vec(vec![1e-6], &[1, 1]).unwrap();
+    let bias = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+    model
+        .set_layer_params(0, &LayerParams::new(vec![weight, bias]))
+        .unwrap();
+    // Every matmul operand and output stays finite; only the column sum of
+    // the bias gradient (3e38 + 3e38) exceeds f32::MAX.
+    let x = Tensor::from_vec(vec![1e-30, 1e-30], &[2, 1]).unwrap();
+    let grad = Tensor::from_vec(vec![3e38, 3e38], &[2, 1]).unwrap();
+    (model, x, grad)
+}
+
+/// The post-backward backstop catches gradients that went non-finite through
+/// paths the tensor-level checks don't cover.
+#[test]
+#[should_panic(expected = "non-finite gradient")]
+fn overflowing_bias_gradient_is_pinned_to_its_layer() {
+    let (mut model, x, grad) = overflowing_bias_model();
+    model.forward(&x, true).unwrap();
+    model.zero_grad();
+    let _ = model.backward(&grad);
+}
+
+/// The panic message identifies the layer by name and trainable index — the
+/// property the whole sanitizer exists for.
+#[test]
+fn gradient_panic_message_names_the_offending_layer() {
+    let result = std::panic::catch_unwind(|| {
+        let (mut model, x, grad) = overflowing_bias_model();
+        model.forward(&x, true).unwrap();
+        model.zero_grad();
+        let _ = model.backward(&grad);
+    });
+    let payload = result.expect_err("sanitizer should have panicked");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        message.contains("trainable layer 0") && message.contains("dense"),
+        "panic should name the layer, got: {message}"
+    );
+}
+
+/// Clean training is unaffected: the checks only fire on real corruption.
+#[test]
+fn clean_backward_passes_under_sanitize() {
+    let mut rng = Rng::seed_from(3);
+    let mut model = models::mlp(&[4, 8, 2], Activation::ReLU, &mut rng).unwrap();
+    let x = rng.randn(&[6, 4]);
+    let labels = vec![0, 1, 0, 1, 0, 1];
+    let logits = model.forward(&x, true).unwrap();
+    let (_, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels).unwrap();
+    model.zero_grad();
+    model.backward(&grad).unwrap();
+}

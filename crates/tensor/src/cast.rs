@@ -1,0 +1,92 @@
+//! Checked numeric conversions for the tensor hot paths.
+//!
+//! Lint rule L004 bans bare `as` casts between floats and integers (and
+//! narrowing `as f32`/`as usize` in general) inside the tensor hot paths:
+//! a silent `as` can truncate, wrap, or round without any trace, which is
+//! exactly the kind of silent numeric corruption the sanitizer layer exists
+//! to catch. These helpers make every conversion's contract explicit and
+//! verify it under `debug_assertions`, while compiling to the plain cast in
+//! release builds.
+
+/// Converts a length/count to `f32` for averaging.
+///
+/// Exact for values up to 2²⁴; above that the nearest representable float
+/// is returned, which is the correct semantic for mean denominators.
+#[inline]
+pub fn len_to_f32(n: usize) -> f32 {
+    n as f32 // lint: allow(L004, the checked-cast helper itself)
+}
+
+/// Explicit precision-narrowing conversion from `f64` to `f32`.
+///
+/// Verifies under `debug_assertions` that a finite input stays finite
+/// (i.e. the value does not overflow `f32`'s range).
+#[inline]
+pub fn f64_to_f32(x: f64) -> f32 {
+    let out = x as f32; // lint: allow(L004, the checked-cast helper itself)
+    debug_assert!(
+        x.is_finite() == out.is_finite(),
+        "f64_to_f32 overflowed: {x}"
+    );
+    out
+}
+
+/// Converts a signed index that has already been bounds-checked to `usize`.
+///
+/// Verifies under `debug_assertions` that the index is non-negative; in
+/// release builds this is the plain cast, keeping the `im2col` inner loops
+/// free of branches.
+#[inline]
+pub fn idx_to_usize(i: isize) -> usize {
+    debug_assert!(i >= 0, "idx_to_usize on negative index {i}");
+    i as usize // lint: allow(L004, the checked-cast helper itself)
+}
+
+/// Converts a non-negative finite `f32` to an index, erroring on anything
+/// that would truncate or wrap.
+///
+/// # Errors
+///
+/// Returns [`crate::TensorError::InvalidCast`] for negative, non-finite or
+/// fractional inputs.
+pub fn f32_to_usize(x: f32) -> crate::Result<usize> {
+    if !x.is_finite() || x < 0.0 || x.fract() != 0.0 || x > usize::MAX as f64 as f32 {
+        return Err(crate::TensorError::InvalidCast {
+            value: f64::from(x),
+            target: "usize",
+        });
+    }
+    Ok(x as usize) // lint: allow(L004, validated just above)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_conversions_are_exact_in_range() {
+        assert_eq!(len_to_f32(0), 0.0);
+        assert_eq!(len_to_f32(1 << 24), 16_777_216.0);
+    }
+
+    #[test]
+    fn f64_narrowing() {
+        assert_eq!(f64_to_f32(1.5), 1.5f32);
+        assert_eq!(f64_to_f32(0.1) as f64, 0.1f32 as f64);
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        assert_eq!(idx_to_usize(7), 7);
+        assert_eq!(idx_to_usize(0), 0);
+    }
+
+    #[test]
+    fn f32_to_usize_accepts_integers_only() {
+        assert_eq!(f32_to_usize(42.0).unwrap(), 42);
+        assert!(f32_to_usize(-1.0).is_err());
+        assert!(f32_to_usize(1.5).is_err());
+        assert!(f32_to_usize(f32::NAN).is_err());
+        assert!(f32_to_usize(f32::INFINITY).is_err());
+    }
+}

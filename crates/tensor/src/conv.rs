@@ -9,7 +9,8 @@
 //! for the backward pass. [`im2col1d`]/[`col2im1d`] are the waveform (audio)
 //! counterparts.
 
-use crate::{Result, Tensor, TensorError};
+use crate::cast::idx_to_usize;
+use crate::{sanitize, Result, Tensor, TensorError};
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +89,7 @@ pub fn im2col2d(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
         });
     }
     let n = shape[0];
+    sanitize::check_finite("im2col2d", "input", input);
     let (c, h, w) = (geom.channels, geom.height, geom.width);
     let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
     let patch = geom.patch_len();
@@ -108,7 +110,7 @@ pub fn im2col2d(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let src = ((i * c + ch) * h + iy as usize) * w + ix as usize;
+                            let src = ((i * c + ch) * h + idx_to_usize(iy)) * w + idx_to_usize(ix);
                             let dst = row + (ch * kh + ky) * kw + kx;
                             out[dst] = x[src];
                         }
@@ -117,7 +119,9 @@ pub fn im2col2d(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(out, &[n * oh * ow, patch])
+    let cols = Tensor::from_vec(out, &[n * oh * ow, patch])?;
+    sanitize::check_shape_contract("im2col2d", &[n * oh * ow, patch], cols.shape());
+    Ok(cols)
 }
 
 /// Folds patch-row gradients back onto the input (the adjoint of
@@ -140,6 +144,7 @@ pub fn col2im2d(cols: &Tensor, n: usize, geom: &Conv2dGeom) -> Result<Tensor> {
             op: "col2im2d",
         });
     }
+    sanitize::check_finite("col2im2d", "cols", cols);
     let (c, h, w) = (geom.channels, geom.height, geom.width);
     let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
     let mut out = vec![0.0f32; n * c * h * w];
@@ -159,7 +164,7 @@ pub fn col2im2d(cols: &Tensor, n: usize, geom: &Conv2dGeom) -> Result<Tensor> {
                             if ix < 0 || ix >= w as isize {
                                 continue;
                             }
-                            let dst = ((i * c + ch) * h + iy as usize) * w + ix as usize;
+                            let dst = ((i * c + ch) * h + idx_to_usize(iy)) * w + idx_to_usize(ix);
                             let src = row + (ch * kh + ky) * kw + kx;
                             out[dst] += g[src];
                         }
@@ -168,6 +173,7 @@ pub fn col2im2d(cols: &Tensor, n: usize, geom: &Conv2dGeom) -> Result<Tensor> {
             }
         }
     }
+    sanitize::check_finite_slice("col2im2d", "output", &out);
     Tensor::from_vec(out, &[n, c, h, w])
 }
 
@@ -227,6 +233,7 @@ pub fn im2col1d(input: &Tensor, geom: &Conv1dGeom) -> Result<Tensor> {
         });
     }
     let n = shape[0];
+    sanitize::check_finite("im2col1d", "input", input);
     let (c, l, k, s, p) = (geom.channels, geom.len, geom.kernel, geom.stride, geom.padding);
     let patch = c * k;
     let mut out = vec![0.0f32; n * ol * patch];
@@ -240,12 +247,14 @@ pub fn im2col1d(input: &Tensor, geom: &Conv1dGeom) -> Result<Tensor> {
                     if idx < 0 || idx >= l as isize {
                         continue;
                     }
-                    out[row + ch * k + kk] = x[(i * c + ch) * l + idx as usize];
+                    out[row + ch * k + kk] = x[(i * c + ch) * l + idx_to_usize(idx)];
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[n * ol, patch])
+    let cols = Tensor::from_vec(out, &[n * ol, patch])?;
+    sanitize::check_shape_contract("im2col1d", &[n * ol, patch], cols.shape());
+    Ok(cols)
 }
 
 /// 1-D analogue of [`col2im2d`].
@@ -264,6 +273,7 @@ pub fn col2im1d(cols: &Tensor, n: usize, geom: &Conv1dGeom) -> Result<Tensor> {
             op: "col2im1d",
         });
     }
+    sanitize::check_finite("col2im1d", "cols", cols);
     let (c, l, k, s, p) = (geom.channels, geom.len, geom.kernel, geom.stride, geom.padding);
     let mut out = vec![0.0f32; n * c * l];
     let g = cols.as_slice();
@@ -276,11 +286,12 @@ pub fn col2im1d(cols: &Tensor, n: usize, geom: &Conv1dGeom) -> Result<Tensor> {
                     if idx < 0 || idx >= l as isize {
                         continue;
                     }
-                    out[(i * c + ch) * l + idx as usize] += g[row + ch * k + kk];
+                    out[(i * c + ch) * l + idx_to_usize(idx)] += g[row + ch * k + kk];
                 }
             }
         }
     }
+    sanitize::check_finite_slice("col2im1d", "output", &out);
     Tensor::from_vec(out, &[n, c, l])
 }
 

@@ -4,7 +4,7 @@ use std::fmt;
 ///
 /// All variants carry enough context (the offending shapes or indices) to
 /// diagnose the failure without a debugger.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum TensorError {
     /// The number of elements implied by a shape does not match the length of
@@ -63,6 +63,18 @@ pub enum TensorError {
         /// Name of the operation that failed.
         op: &'static str,
     },
+    /// A checked numeric conversion would have truncated or wrapped.
+    InvalidCast {
+        /// The offending value (widened to `f64`).
+        value: f64,
+        /// Name of the conversion target type.
+        target: &'static str,
+    },
+    /// A serialized tensor payload was malformed.
+    InvalidPayload {
+        /// Human-readable description of the malformation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -92,6 +104,12 @@ impl fmt::Display for TensorError {
                 write!(f, "invalid convolution configuration: {reason}")
             }
             TensorError::Empty { op } => write!(f, "`{op}` requires a non-empty tensor"),
+            TensorError::InvalidCast { value, target } => {
+                write!(f, "cannot convert {value} to {target} without loss")
+            }
+            TensorError::InvalidPayload { reason } => {
+                write!(f, "malformed tensor payload: {reason}")
+            }
         }
     }
 }

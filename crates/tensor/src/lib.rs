@@ -30,9 +30,12 @@
 #![warn(missing_docs)]
 
 pub mod alloc;
+pub mod cast;
 pub mod conv;
 mod error;
+pub mod json;
 pub mod rng;
+pub mod sanitize;
 mod tensor;
 
 pub use error::TensorError;

@@ -1,5 +1,5 @@
-use crate::{alloc, Result, TensorError};
-use serde::{Deserialize, Deserializer, Serialize};
+use crate::json::{Json, ToJson};
+use crate::{alloc, cast, sanitize, Result, TensorError};
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
@@ -23,24 +23,20 @@ use serde::{Deserialize, Deserializer, Serialize};
 /// assert_eq!(x.sum(), 21.0);
 /// # Ok::<(), dinar_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
 }
 
-impl<'de> Deserialize<'de> for Tensor {
-    /// Deserializes through [`Tensor::from_vec`] so the buffer participates
-    /// in the allocation accounting (a derived impl would construct the
-    /// fields directly and corrupt the live-bytes counter on drop).
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> std::result::Result<Self, D::Error> {
-        #[derive(Deserialize)]
-        struct Raw {
-            data: Vec<f32>,
-            shape: Vec<usize>,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        Tensor::from_vec(raw.data, &raw.shape).map_err(serde::de::Error::custom)
+impl ToJson for Tensor {
+    /// Serializes as `{"data": [...], "shape": [...]}` — the same envelope
+    /// the earlier `serde` derive produced, so old checkpoints keep loading.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("data", self.data.to_json()),
+            ("shape", self.shape.to_json()),
+        ])
     }
 }
 
@@ -68,6 +64,39 @@ impl Tensor {
             data,
             shape: shape.to_vec(),
         })
+    }
+
+    /// Deserializes a tensor from its JSON form (see [`ToJson`] impl),
+    /// routing through [`Tensor::from_vec`] so the buffer participates in
+    /// the allocation accounting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPayload`] for a malformed tree and
+    /// [`TensorError::ShapeDataMismatch`] if data and shape disagree.
+    pub fn from_json(value: &Json) -> Result<Self> {
+        let malformed = |reason: &str| TensorError::InvalidPayload {
+            reason: reason.to_string(),
+        };
+        let data = value
+            .get("data")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| malformed("missing `data` array"))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .map(cast::f64_to_f32)
+                    .ok_or_else(|| malformed("non-numeric entry in `data`"))
+            })
+            .collect::<Result<Vec<f32>>>()?;
+        let shape = value
+            .get("shape")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| malformed("missing `shape` array"))?
+            .iter()
+            .map(|v| v.as_usize().ok_or_else(|| malformed("bad `shape` entry")))
+            .collect::<Result<Vec<usize>>>()?;
+        Tensor::from_vec(data, &shape)
     }
 
     /// Creates a rank-1 tensor from a slice.
@@ -476,6 +505,8 @@ impl Tensor {
                 op: "add_row_broadcast",
             });
         }
+        sanitize::check_finite("add_row_broadcast", "input", self);
+        sanitize::check_finite("add_row_broadcast", "bias", bias);
         let mut out = self.clone();
         for i in 0..r {
             for j in 0..c {
@@ -508,6 +539,8 @@ impl Tensor {
                 op: "matmul",
             });
         }
+        sanitize::check_finite("matmul", "lhs", self);
+        sanitize::check_finite("matmul", "rhs", other);
         let mut out = Tensor::zeros(&[m, n]);
         for i in 0..m {
             let out_row = &mut out.data[i * n..(i + 1) * n];
@@ -522,6 +555,7 @@ impl Tensor {
                 }
             }
         }
+        sanitize::check_finite("matmul", "output", &out);
         Ok(out)
     }
 
@@ -541,6 +575,8 @@ impl Tensor {
                 op: "matmul_t",
             });
         }
+        sanitize::check_finite("matmul_t", "lhs", self);
+        sanitize::check_finite("matmul_t", "rhs", other);
         let mut out = Tensor::zeros(&[m, n]);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -553,6 +589,7 @@ impl Tensor {
                 out.data[i * n + j] = acc;
             }
         }
+        sanitize::check_finite("matmul_t", "output", &out);
         Ok(out)
     }
 
@@ -572,6 +609,8 @@ impl Tensor {
                 op: "t_matmul",
             });
         }
+        sanitize::check_finite("t_matmul", "lhs", self);
+        sanitize::check_finite("t_matmul", "rhs", other);
         let mut out = Tensor::zeros(&[m, n]);
         for p in 0..k {
             let a_row = &self.data[p * m..(p + 1) * m];
@@ -586,6 +625,7 @@ impl Tensor {
                 }
             }
         }
+        sanitize::check_finite("t_matmul", "output", &out);
         Ok(out)
     }
 
@@ -624,7 +664,7 @@ impl Tensor {
         if self.data.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / cast::len_to_f32(self.data.len())
         }
     }
 
@@ -656,11 +696,13 @@ impl Tensor {
 
     /// Euclidean (L2) norm of the flattened tensor.
     pub fn norm_l2(&self) -> f32 {
-        self.data
-            .iter()
-            .map(|&x| x as f64 * x as f64)
-            .sum::<f64>()
-            .sqrt() as f32
+        cast::f64_to_f32(
+            self.data
+                .iter()
+                .map(|&x| f64::from(x) * f64::from(x))
+                .sum::<f64>()
+                .sqrt(),
+        )
     }
 
     /// Column sums of a rank-2 tensor (shape `[ncols]`).
@@ -938,6 +980,27 @@ mod tests {
         let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
         let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
         assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_bits_and_shape() {
+        let t = Tensor::from_vec(vec![0.1, -2.5, 3.0e-20, 7.0], &[2, 2]).unwrap();
+        let text = t.to_json().dump();
+        let back = Tensor::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_payloads() {
+        for bad in [
+            "{\"shape\": [2]}",
+            "{\"data\": [1, 2], \"shape\": [3]}",
+            "{\"data\": [\"x\"], \"shape\": [1]}",
+            "[1, 2, 3]",
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(Tensor::from_json(&v).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Workspace lint gate: runs the `dinar-lint` ratchet as part of
+//! `cargo test`, so a new violation of any repo invariant (L001–L005)
+//! fails CI even if nobody ran the CLI.
+
+use std::path::Path;
+
+#[test]
+fn lint_ratchet_holds() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (findings, regressions) =
+        dinar_lint::check_against_baseline(root).expect("lint pass should run");
+    assert!(
+        regressions.is_empty(),
+        "\nlint ratchet FAILED — {} (rule, file) count(s) rose above \
+         lint-baseline.json:\n{}\n\ntotal findings now: {}.\n\
+         Fix the new violations, or for intentional changes run\n    \
+         cargo run -p dinar-lint -- --update-baseline\nand commit the \
+         refreshed lint-baseline.json.\n",
+        regressions.len(),
+        regressions
+            .iter()
+            .map(|r| format!("  {r}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        findings.len(),
+    );
+}
+
+#[test]
+fn baseline_file_is_well_formed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join(dinar_lint::BASELINE_FILE);
+    assert!(
+        path.exists(),
+        "{} must be committed at the workspace root",
+        dinar_lint::BASELINE_FILE
+    );
+    dinar_lint::Baseline::load(&path).expect("committed baseline parses");
+}
