@@ -1,7 +1,10 @@
-//! Micro-benchmarks of the tensor substrate: the hot kernels every FL round
-//! is built from. The benchmark definitions live in
-//! `dinar_bench::tensor_suite` (shared with the `bench_tensor` binary); this
-//! harness runs them and records `bench-results/BENCH_tensor.json`.
+//! Runs the shared tensor micro-benchmark suite and records
+//! `bench-results/BENCH_tensor.json` — the machine-readable perf trajectory
+//! for the hot kernels (op, size, ns/iter, threads).
+//!
+//! Same measurements as `cargo bench -p dinar-bench --bench tensor_ops`;
+//! this binary exists so the artifact can be regenerated without the bench
+//! profile. Set `DINAR_THREADS=1` for a single-thread baseline run.
 
 use dinar_bench::report::write_json;
 use dinar_bench::tensor_suite;

@@ -21,4 +21,5 @@
 
 pub mod harness;
 pub mod report;
+pub mod tensor_suite;
 pub mod timing;

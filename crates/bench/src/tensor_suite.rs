@@ -1,0 +1,150 @@
+//! The shared tensor micro-benchmark suite.
+//!
+//! One definition of the hot-kernel benchmarks (matmul family, im2col
+//! lowering, elementwise, RNG) used by both the `tensor_ops` bench harness
+//! and the `bench_tensor` binary, so the printed lines and the recorded
+//! `bench-results/BENCH_tensor.json` artifact can never drift apart.
+//!
+//! Each measurement becomes a [`TensorBenchEntry`] row `(op, size,
+//! ns_per_iter, threads)`; `threads` is the pool width the suite ran with
+//! ([`dinar_tensor::par::threads`]), so recorded baselines are comparable
+//! across runners. Regeneration instructions live in `benches/README.md`.
+
+use crate::impl_to_json;
+use crate::timing::{bench, bench_batched, Config, Measurement};
+use dinar_tensor::conv::{im2col2d, Conv2dGeom};
+use dinar_tensor::json::{Json, ToJson};
+use dinar_tensor::{par, Rng};
+use std::hint::black_box;
+
+/// One benchmark result row of the tensor suite.
+#[derive(Debug, Clone)]
+pub struct TensorBenchEntry {
+    /// Operation family (`matmul`, `im2col2d`, `scaled_add_assign`, ...).
+    pub op: String,
+    /// Problem-size label (`128x128x128`, `100k`, ...).
+    pub size: String,
+    /// Median wall time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Worker-pool width the measurement ran with.
+    pub threads: usize,
+}
+
+impl_to_json!(TensorBenchEntry { op, size, ns_per_iter, threads });
+
+fn entry(op: &str, size: &str, m: &Measurement) -> TensorBenchEntry {
+    TensorBenchEntry {
+        op: op.to_string(),
+        size: size.to_string(),
+        ns_per_iter: m.median_ns(),
+        threads: par::threads(),
+    }
+}
+
+/// Runs every benchmark in the suite and returns one entry per measurement.
+///
+/// `config` drives all benchmarks except the elementwise one, which uses
+/// [`Config::heavy`] because each iteration needs a fresh (untimed) clone of
+/// its input. Results also print as aligned lines, one per benchmark.
+///
+/// # Errors
+///
+/// Returns an error if a benchmark's operand shapes are inconsistent — each
+/// routine is shape-checked once before its timed loop starts.
+pub fn run(config: &Config) -> dinar_tensor::Result<Vec<TensorBenchEntry>> {
+    let mut entries = Vec::new();
+
+    for &n in &[32usize, 64, 128] {
+        let mut rng = Rng::seed_from(0);
+        let a = rng.randn(&[n, n]);
+        let b = rng.randn(&[n, n]);
+        a.matmul(&b)?; // shape-check once; the timed closure cannot fail
+        let m = bench(&format!("matmul/{n}"), config, || black_box(a.matmul(&b)));
+        entries.push(entry("matmul", &format!("{n}x{n}x{n}"), &m));
+    }
+
+    let mut rng = Rng::seed_from(1);
+    let a = rng.randn(&[64, 128]);
+    let b = rng.randn(&[96, 128]);
+    a.matmul_t(&b)?;
+    let m = bench("matmul_t_64x128x96", config, || black_box(a.matmul_t(&b)));
+    entries.push(entry("matmul_t", "64x128x96", &m));
+
+    let mut rng = Rng::seed_from(2);
+    let x = rng.randn(&[8, 8, 16, 16]);
+    let geom = Conv2dGeom {
+        channels: 8,
+        height: 16,
+        width: 16,
+        kernel_h: 3,
+        kernel_w: 3,
+        stride: 1,
+        padding: 1,
+    };
+    im2col2d(&x, &geom)?;
+    let m = bench("im2col2d_8x8x16x16_k3", config, || {
+        black_box(im2col2d(&x, &geom))
+    });
+    entries.push(entry("im2col2d", "8x8x16x16_k3", &m));
+
+    let mut rng = Rng::seed_from(3);
+    let a = rng.randn(&[100_000]);
+    let b = rng.randn(&[100_000]);
+    let mut probe = a.clone();
+    probe.scaled_add_assign(0.5, &b)?;
+    let m = bench_batched(
+        "scaled_add_assign_100k",
+        &Config::heavy(),
+        || a.clone(),
+        |mut t| {
+            let _ = t.scaled_add_assign(0.5, &b); // shape-checked above
+            black_box(t)
+        },
+    );
+    entries.push(entry("scaled_add_assign", "100k", &m));
+
+    let mut rng = Rng::seed_from(4);
+    let m = bench("randn_100k", config, || black_box(rng.randn(&[100_000])));
+    entries.push(entry("randn", "100k", &m));
+
+    Ok(entries)
+}
+
+/// The suite's JSON artifact: `{ threads, entries: [...] }`.
+pub fn to_json(entries: &[TensorBenchEntry]) -> Json {
+    Json::obj([
+        ("threads", par::threads().to_json()),
+        ("entries", entries.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn suite_runs_and_serializes() {
+        // A near-zero config keeps this a smoke test, not a benchmark.
+        let config = Config {
+            warmup: Duration::from_millis(0),
+            samples: 1,
+            target_sample: Duration::from_millis(0),
+        };
+        let entries = run(&config).expect("static shapes are consistent");
+        assert_eq!(entries.len(), 7);
+        assert!(entries.iter().all(|e| e.ns_per_iter > 0.0));
+        assert!(entries.iter().all(|e| e.threads == par::threads()));
+
+        let json = to_json(&entries);
+        let back = Json::parse(&json.dump_pretty()).expect("emitter output parses");
+        let rows = back.get("entries").and_then(Json::as_arr).expect("entries");
+        assert_eq!(rows.len(), 7);
+        assert_eq!(
+            rows[2].get("op").and_then(Json::as_str),
+            Some("matmul"),
+            "third row is matmul/128"
+        );
+        assert_eq!(rows[2].get("size").and_then(Json::as_str), Some("128x128x128"));
+    }
+}

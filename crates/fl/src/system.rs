@@ -1,11 +1,34 @@
 //! Round orchestration, system builder and cost accounting.
 
-use crate::{ClientMiddleware, FlClient, FlError, FlServer, Result, ServerMiddleware};
+use crate::{ClientMiddleware, ClientUpdate, FlClient, FlError, FlServer, Result, ServerMiddleware};
 use dinar_data::Dataset;
 use dinar_metrics::cost::{measure, CostSample};
 use dinar_nn::optim::Optimizer;
 use dinar_nn::{Model, ModelParams};
-use dinar_tensor::Rng;
+use dinar_tensor::{par, Rng};
+use std::time::Duration;
+
+/// Runs one round of local training for each referenced client on the
+/// [`par`] pool (clients are data-independent within a round) and returns
+/// the per-client outcomes **in input order**, so the caller's loss fold
+/// and the aggregation order are identical to the sequential loop. Each
+/// client's [`measure`] runs entirely on its worker thread, so the
+/// per-thread memory scope attributes only that client's allocations.
+/// Tensor kernels invoked inside a worker run serially (nested parallel
+/// regions execute inline), preventing clients × threads oversubscription.
+fn train_fan_out(
+    clients: &mut [&mut FlClient],
+    global: &ModelParams,
+) -> Vec<(Result<(f32, ClientUpdate)>, Duration, u64)> {
+    par::map_items_mut(clients, |_, client| {
+        measure(|| -> Result<_> {
+            client.receive_global(global)?;
+            let loss = client.train_local()?;
+            let update = client.produce_update()?;
+            Ok((loss, update))
+        })
+    })
+}
 
 /// Static configuration of an FL system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,17 +132,14 @@ impl FlSystem {
     /// Propagates client training, middleware and aggregation errors.
     pub fn run_round(&mut self) -> Result<RoundReport> {
         let global = self.server.global_params().clone();
+        let mut refs: Vec<&mut FlClient> = self.clients.iter_mut().collect();
+        let results = train_fan_out(&mut refs, &global);
+        drop(refs);
         let mut updates = Vec::with_capacity(self.clients.len());
         let mut loss_sum = 0.0f64;
         let mut train_time_sum = 0.0f64;
         let mut peak_mem = 0u64;
-        for client in &mut self.clients {
-            let (result, elapsed, mem) = measure(|| -> Result<_> {
-                client.receive_global(&global)?;
-                let loss = client.train_local()?;
-                let update = client.produce_update()?;
-                Ok((loss, update))
-            });
+        for (result, elapsed, mem) in results {
             let (loss, update) = result?;
             loss_sum += loss as f64;
             train_time_sum += elapsed.as_secs_f64();
@@ -178,18 +198,25 @@ impl FlSystem {
         selected.sort_unstable();
 
         let global = self.server.global_params().clone();
+        // Collect &mut references to the selected clients (indices are
+        // sorted, so a single forward sweep suffices).
+        let mut refs: Vec<&mut FlClient> = Vec::with_capacity(participants);
+        {
+            let mut wanted = selected.iter().peekable();
+            for (i, client) in self.clients.iter_mut().enumerate() {
+                if wanted.peek() == Some(&&i) {
+                    refs.push(client);
+                    wanted.next();
+                }
+            }
+        }
+        let results = train_fan_out(&mut refs, &global);
+        drop(refs);
         let mut updates = Vec::with_capacity(participants);
         let mut loss_sum = 0.0f64;
         let mut train_time_sum = 0.0f64;
         let mut peak_mem = 0u64;
-        for &idx in &selected {
-            let client = &mut self.clients[idx];
-            let (result, elapsed, mem) = measure(|| -> Result<_> {
-                client.receive_global(&global)?;
-                let loss = client.train_local()?;
-                let update = client.produce_update()?;
-                Ok((loss, update))
-            });
+        for (result, elapsed, mem) in results {
             let (loss, update) = result?;
             loss_sum += loss as f64;
             train_time_sum += elapsed.as_secs_f64();
@@ -218,10 +245,9 @@ impl FlSystem {
     /// Propagates middleware errors.
     pub fn sync_clients(&mut self) -> Result<()> {
         let global = self.server.global_params().clone();
-        for client in &mut self.clients {
-            client.receive_global(&global)?;
-        }
-        Ok(())
+        let mut refs: Vec<&mut FlClient> = self.clients.iter_mut().collect();
+        let results = par::map_items_mut(&mut refs, |_, client| client.receive_global(&global));
+        results.into_iter().collect()
     }
 
     /// Mean accuracy of the clients' (personalized) models on a dataset —
@@ -231,10 +257,12 @@ impl FlSystem {
     ///
     /// Propagates evaluation errors.
     pub fn mean_client_accuracy(&mut self, dataset: &Dataset) -> Result<f32> {
-        let mut sum = 0.0f64;
         let n = self.clients.len().max(1);
-        for client in &mut self.clients {
-            sum += client.evaluate(dataset)? as f64;
+        let mut refs: Vec<&mut FlClient> = self.clients.iter_mut().collect();
+        let accuracies = par::map_items_mut(&mut refs, |_, client| client.evaluate(dataset));
+        let mut sum = 0.0f64;
+        for accuracy in accuracies {
+            sum += accuracy? as f64;
         }
         Ok((sum / n as f64) as f32)
     }

@@ -1,4 +1,4 @@
-//! The rule catalog: five repo-specific invariants (L001–L005).
+//! The rule catalog: six repo-specific invariants (L001–L006).
 //!
 //! Each rule is a pure function from preprocessed sources (or manifests) to
 //! [`Finding`]s, so the unit tests can drive them with inline fixtures and
@@ -21,6 +21,9 @@ pub enum Rule {
     L004,
     /// Workspace manifests declare only in-repo dependencies.
     L005,
+    /// No raw thread spawning outside the worker pool and the threaded
+    /// transport.
+    L006,
 }
 
 impl Rule {
@@ -33,6 +36,7 @@ impl Rule {
             Rule::L003 => "L003",
             Rule::L004 => "L004",
             Rule::L005 => "L005",
+            Rule::L006 => "L006",
         }
     }
 
@@ -44,12 +48,20 @@ impl Rule {
             Rule::L003 => "public Error enums must implement Display + std::error::Error",
             Rule::L004 => "no bare `as` numeric casts in tensor hot paths",
             Rule::L005 => "manifests may declare only in-repo dependencies",
+            Rule::L006 => "no raw thread spawning outside the worker pool",
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 5] {
-        [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005]
+    pub fn all() -> [Rule; 6] {
+        [
+            Rule::L001,
+            Rule::L002,
+            Rule::L003,
+            Rule::L004,
+            Rule::L005,
+            Rule::L006,
+        ]
     }
 }
 
@@ -113,6 +125,17 @@ const L002_TOKENS: [&str; 4] = ["thread_rng", "SystemTime::now", "Instant::now",
 /// truncate, round, or wrap silently.
 const L004_TOKENS: [&str; 4] = ["as f32", "as usize", "as u32", "as i32"];
 
+/// Raw-threading tokens banned by L006. The catalog matches both the
+/// `std::thread::` and `thread::` spellings because the token is
+/// word-bounded on its left at the `::` separator.
+const L006_TOKENS: [&str; 2] = ["thread::spawn", "thread::scope"];
+
+/// Files allowed to spawn threads directly: the deterministic worker pool
+/// itself, and the threaded client transport that predates it (simulated
+/// network endpoints, one long-lived thread per client — not data
+/// parallelism).
+pub const L006_EXEMPT: [&str; 2] = ["crates/tensor/src/par.rs", "crates/fl/src/transport.rs"];
+
 /// Is the byte at `idx` the start of a word-bounded occurrence of `needle`?
 fn word_bounded(line: &str, idx: usize, needle: &str) -> bool {
     let before_ok = idx == 0
@@ -149,6 +172,7 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
     check_l001(path, &stripped, &mut findings);
     check_l002(path, &stripped, &mut findings);
     check_l004(path, &stripped, &mut findings);
+    check_l006(path, &stripped, &mut findings);
     findings
 }
 
@@ -224,6 +248,35 @@ fn check_l004(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
                     message: format!(
                         "bare `{token}` cast in a tensor hot path; use the checked \
                          helpers in dinar_tensor::cast"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// L006: raw thread spawning outside the worker pool. Ad-hoc threads
+/// bypass the pool's deterministic partitioning, its nested-parallelism
+/// guard, and the per-thread allocation ledger, so all data parallelism
+/// must go through `dinar_tensor::par` (see [`L006_EXEMPT`]).
+fn check_l006(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    if !path.contains("/src/") || L006_EXEMPT.contains(&path) {
+        return;
+    }
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L006", n) {
+            continue;
+        }
+        for token in L006_TOKENS {
+            for _ in 0..occurrences(line, token) {
+                findings.push(Finding {
+                    rule: Rule::L006,
+                    file: path.to_string(),
+                    line: n,
+                    message: format!(
+                        "`{token}` outside the worker pool; route parallelism through \
+                         dinar_tensor::par or annotate `lint: allow(L006, reason)`"
                     ),
                 });
             }
@@ -427,6 +480,28 @@ mod tests {
         let src = "let a = x as usize; // lint: allow(L004, bounds-checked above)";
         let findings = check_source("crates/tensor/src/conv.rs", src);
         assert!(findings.iter().all(|f| f.rule != Rule::L004));
+    }
+
+    #[test]
+    fn l006_flags_raw_threads_outside_pool_and_transport() {
+        let src = "fn f() { std::thread::spawn(|| {}); thread::scope(|s| {}); }";
+        let hits = check_source("crates/consensus/src/network.rs", src)
+            .iter()
+            .filter(|f| f.rule == Rule::L006)
+            .count();
+        assert_eq!(hits, 2);
+        for exempt in L006_EXEMPT {
+            let findings = check_source(exempt, src);
+            assert!(findings.iter().all(|f| f.rule != Rule::L006), "{exempt}");
+        }
+    }
+
+    #[test]
+    fn l006_skips_tests_and_allows() {
+        let src = "let h = thread::spawn(f); // lint: allow(L006, watchdog by design)\n\
+                   #[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }\n";
+        let findings = check_source("crates/fl/src/clock.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L006), "{findings:?}");
     }
 
     #[test]

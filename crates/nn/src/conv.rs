@@ -3,7 +3,10 @@
 
 use crate::{init, Layer, NnError, Result};
 use dinar_tensor::conv::{col2im1d, col2im2d, im2col1d, im2col2d, Conv1dGeom, Conv2dGeom};
-use dinar_tensor::{Rng, Tensor};
+use dinar_tensor::{par, Rng, Tensor};
+
+/// Minimum output cells per parallel part for the layout-rearrange helpers.
+const PAR_MIN_CELLS: usize = 16 * 1024;
 
 /// 2-D convolution over `[batch, channels, height, width]` inputs.
 ///
@@ -100,18 +103,30 @@ impl Conv2d {
 }
 
 /// Rearranges `[n*oh*ow, oc]` matrix rows into `[n, oc, oh, ow]` layout.
+///
+/// Both layouts keep each sample's block contiguous, so the transpose is
+/// parallelized over samples on the [`par`] pool (pure per-element copies —
+/// bit-identical for any thread count).
 fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
     let src = rows.as_slice();
-    let mut out = vec![0.0f32; n * oc * oh * ow];
-    for i in 0..n {
-        for y in 0..oh {
-            for x in 0..ow {
-                let row = ((i * oh + y) * ow + x) * oc;
-                for c in 0..oc {
-                    out[((i * oc + c) * oh + y) * ow + x] = src[row + c];
+    let sample = oc * oh * ow;
+    let mut out = vec![0.0f32; n * sample];
+    if sample > 0 {
+        let min_samples = (PAR_MIN_CELLS / sample).max(1);
+        par::for_each_part_mut(&mut out, sample, min_samples, |offset, part| {
+            let i0 = offset / sample;
+            for (local, block) in part.chunks_exact_mut(sample).enumerate() {
+                let i = i0 + local;
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let row = ((i * oh + y) * ow + x) * oc;
+                        for c in 0..oc {
+                            block[(c * oh + y) * ow + x] = src[row + c];
+                        }
+                    }
                 }
             }
-        }
+        });
     }
     Tensor::from_vec(out, &[n, oc, oh, ow]).expect("size preserved")
 }
@@ -119,18 +134,74 @@ fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Ten
 /// Inverse of [`rows_to_nchw`].
 fn nchw_to_rows(t: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor {
     let src = t.as_slice();
-    let mut out = vec![0.0f32; n * oh * ow * oc];
-    for i in 0..n {
-        for y in 0..oh {
-            for x in 0..ow {
-                let row = ((i * oh + y) * ow + x) * oc;
-                for c in 0..oc {
-                    out[row + c] = src[((i * oc + c) * oh + y) * ow + x];
+    let sample = oh * ow * oc;
+    let mut out = vec![0.0f32; n * sample];
+    if sample > 0 {
+        let min_samples = (PAR_MIN_CELLS / sample).max(1);
+        par::for_each_part_mut(&mut out, sample, min_samples, |offset, part| {
+            let i0 = offset / sample;
+            for (local, block) in part.chunks_exact_mut(sample).enumerate() {
+                let i = i0 + local;
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let row = ((y * ow) + x) * oc;
+                        for c in 0..oc {
+                            block[row + c] = src[((i * oc + c) * oh + y) * ow + x];
+                        }
+                    }
                 }
             }
-        }
+        });
     }
     Tensor::from_vec(out, &[n * oh * ow, oc]).expect("size preserved")
+}
+
+/// Rearranges `[n*ol, oc]` matrix rows into `[n, oc, ol]` layout (1-D
+/// counterpart of [`rows_to_nchw`]).
+fn rows_to_ncl(rows: &Tensor, n: usize, oc: usize, ol: usize) -> Tensor {
+    let src = rows.as_slice();
+    let sample = oc * ol;
+    let mut out = vec![0.0f32; n * sample];
+    if sample > 0 {
+        let min_samples = (PAR_MIN_CELLS / sample).max(1);
+        par::for_each_part_mut(&mut out, sample, min_samples, |offset, part| {
+            let i0 = offset / sample;
+            for (local, block) in part.chunks_exact_mut(sample).enumerate() {
+                let i = i0 + local;
+                for o in 0..ol {
+                    let row = (i * ol + o) * oc;
+                    for c in 0..oc {
+                        block[c * ol + o] = src[row + c];
+                    }
+                }
+            }
+        });
+    }
+    // lint: allow(L001, length is n*oc*ol by construction)
+    Tensor::from_vec(out, &[n, oc, ol]).expect("size preserved")
+}
+
+/// Inverse of [`rows_to_ncl`].
+fn ncl_to_rows(t: &Tensor, n: usize, oc: usize, ol: usize) -> Tensor {
+    let src = t.as_slice();
+    let sample = ol * oc;
+    let mut out = vec![0.0f32; n * sample];
+    if sample > 0 {
+        let min_samples = (PAR_MIN_CELLS / sample).max(1);
+        par::for_each_part_mut(&mut out, sample, min_samples, |offset, part| {
+            let i0 = offset / sample;
+            for (local, block) in part.chunks_exact_mut(sample).enumerate() {
+                let i = i0 + local;
+                for o in 0..ol {
+                    for c in 0..oc {
+                        block[o * oc + c] = src[(i * oc + c) * ol + o];
+                    }
+                }
+            }
+        });
+    }
+    // lint: allow(L001, length is n*ol*oc by construction)
+    Tensor::from_vec(out, &[n * ol, oc]).expect("size preserved")
 }
 
 impl Layer for Conv2d {
@@ -281,24 +352,14 @@ impl Layer for Conv1d {
         let n = shape[0];
         let cols = im2col1d(input, &geom)?;
         let rows = cols.matmul_t(&self.weight)?.add_row_broadcast(&self.bias)?;
-        // Rearrange [n*ol, oc] into [n, oc, ol].
-        let src = rows.as_slice();
-        let mut out = vec![0.0f32; n * self.out_channels * ol];
-        for i in 0..n {
-            for o in 0..ol {
-                let row = (i * ol + o) * self.out_channels;
-                for c in 0..self.out_channels {
-                    out[(i * self.out_channels + c) * ol + o] = src[row + c];
-                }
-            }
-        }
+        let out = rows_to_ncl(&rows, n, self.out_channels, ol);
         self.cached = Some(Conv1dCache {
             cols,
             geom,
             batch: n,
             out_len: ol,
         });
-        Ok(Tensor::from_vec(out, &[n, self.out_channels, ol])?)
+        Ok(out)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor> {
@@ -307,17 +368,7 @@ impl Layer for Conv1d {
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward { layer: "conv1d" })?;
         let (n, ol, oc) = (cache.batch, cache.out_len, self.out_channels);
-        let src = grad_output.as_slice();
-        let mut rows = vec![0.0f32; n * ol * oc];
-        for i in 0..n {
-            for o in 0..ol {
-                let row = (i * ol + o) * oc;
-                for c in 0..oc {
-                    rows[row + c] = src[(i * oc + c) * ol + o];
-                }
-            }
-        }
-        let g_rows = Tensor::from_vec(rows, &[n * ol, oc])?;
+        let g_rows = ncl_to_rows(grad_output, n, oc, ol);
         let gw = g_rows.t_matmul(&cache.cols)?;
         self.grad_weight.add_assign(&gw)?;
         self.grad_bias.add_assign(&g_rows.sum_rows()?)?;

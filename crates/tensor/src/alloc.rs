@@ -8,18 +8,41 @@
 //! buffers: every tensor construction registers its buffer size here, and every
 //! drop releases it.
 //!
-//! Accounting is process-global and lock-free (atomics); a [`MemoryScope`]
-//! captures the additional peak reached while it is alive, which is exactly
-//! "extra memory used by this defense during one training round".
+//! Two ledgers are kept:
+//!
+//! * **Process-global** (atomics): [`live_bytes`] is the total held by live
+//!   tensor buffers across all threads; [`peak_bytes`] is its monotone
+//!   high-water mark.
+//! * **Per-thread** (thread-locals): each thread tracks the live level and
+//!   peak of allocations *it* performed. [`MemoryScope`] measures against
+//!   this ledger, so concurrent scopes — e.g. one per FL client task on the
+//!   [`par`](crate::par) pool — never attribute each other's allocations.
+//!   Tensors allocated inside the scope's thread are charged to it even if
+//!   another thread later drops them; the per-thread live level is signed
+//!   and saturating so cross-thread drops cannot corrupt it.
+//!
+//! The parallel kernels in this crate construct their output tensors on the
+//! calling thread (workers only fill pre-allocated buffers), so a scope
+//! wrapped around any tensor op still observes the op's full footprint.
 //!
 //! [`Tensor`]: crate::Tensor
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Bytes currently held by live tensor buffers.
+/// Bytes currently held by live tensor buffers (all threads).
 static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 /// Highest value `LIVE_BYTES` has ever reached.
 static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Net bytes allocated minus deallocated by this thread. Signed: a
+    /// thread that drops buffers it did not allocate goes negative.
+    static TASK_LIVE: Cell<i64> = const { Cell::new(0) };
+    /// Highest `TASK_LIVE` since the last [`MemoryScope::enter`] on this
+    /// thread.
+    static TASK_PEAK: Cell<i64> = const { Cell::new(0) };
+}
 
 /// Record an allocation of `bytes` tensor-buffer bytes.
 ///
@@ -29,34 +52,48 @@ static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 pub fn record_alloc(bytes: u64) {
     let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
     PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    TASK_LIVE.with(|l| {
+        let task_live = l.get().saturating_add_unsigned(bytes);
+        l.set(task_live);
+        TASK_PEAK.with(|p| p.set(p.get().max(task_live)));
+    });
 }
 
 /// Record a deallocation of `bytes` tensor-buffer bytes.
 pub fn record_dealloc(bytes: u64) {
     LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    TASK_LIVE.with(|l| l.set(l.get().saturating_sub_unsigned(bytes)));
 }
 
-/// Bytes currently held by live tensor buffers.
+/// Bytes currently held by live tensor buffers, process-wide.
 pub fn live_bytes() -> u64 {
     LIVE_BYTES.load(Ordering::Relaxed)
 }
 
-/// Highest number of live tensor-buffer bytes observed so far in the process.
+/// Monotone process-wide high-water mark of [`live_bytes`].
 pub fn peak_bytes() -> u64 {
     PEAK_BYTES.load(Ordering::Relaxed)
 }
 
-/// Measures the peak *additional* tensor memory allocated while the scope is
-/// alive.
+/// Net bytes this thread has allocated minus deallocated (may be negative
+/// if the thread drops buffers allocated elsewhere).
+pub fn thread_live_bytes() -> i64 {
+    TASK_LIVE.with(Cell::get)
+}
+
+/// Measures the peak *additional* tensor memory allocated by the current
+/// thread while the scope is alive.
 ///
-/// The scope resets the global peak to the current live level on entry, so the
-/// reported value is the high-water mark reached during the scope relative to
-/// the level at entry — precisely the "extra buffers" a defense mechanism
-/// allocates during a training round.
+/// The scope snapshots this thread's live level on entry and resets the
+/// thread-local peak register to it, so the reported value is the
+/// high-water mark reached during the scope relative to the level at entry
+/// — precisely the "extra buffers" a defense mechanism allocates during a
+/// training round. The ledger is per-thread, so scopes running concurrently
+/// on different pool workers measure independently; read the result on the
+/// same thread that entered the scope.
 ///
-/// Note: because the peak register is global, interleaving scopes on multiple
-/// threads attributes each other's allocations; the benchmark harness runs
-/// defense measurements sequentially.
+/// Scopes on one thread do not nest: entering a scope resets the peak
+/// register that an enclosing scope is also reading.
 ///
 /// # Example
 ///
@@ -70,24 +107,24 @@ pub fn peak_bytes() -> u64 {
 /// ```
 #[derive(Debug)]
 pub struct MemoryScope {
-    baseline: u64,
+    baseline: i64,
 }
 
 impl MemoryScope {
-    /// Start measuring: snapshots the current live level and resets the peak
-    /// register to it.
+    /// Start measuring: snapshots the current thread's live level and resets
+    /// its peak register to it.
     pub fn enter() -> Self {
-        let baseline = live_bytes();
-        PEAK_BYTES.store(baseline, Ordering::Relaxed);
+        let baseline = TASK_LIVE.with(Cell::get);
+        TASK_PEAK.with(|p| p.set(baseline));
         MemoryScope { baseline }
     }
 
-    /// Peak bytes allocated above the level at scope entry.
+    /// Peak bytes this thread allocated above its level at scope entry.
     ///
-    /// Saturates at zero if (due to deallocations racing the snapshot) the
-    /// peak reads below the baseline.
+    /// Saturates at zero if the thread only deallocated during the scope.
     pub fn peak_extra_bytes(&self) -> u64 {
-        peak_bytes().saturating_sub(self.baseline)
+        let extra = TASK_PEAK.with(Cell::get) - self.baseline;
+        u64::try_from(extra).unwrap_or(0)
     }
 }
 
@@ -98,21 +135,24 @@ mod tests {
 
     #[test]
     fn tensor_alloc_and_drop_are_tracked() {
-        let before = live_bytes();
+        // The global ledger is shared with concurrently running tests, so
+        // exact assertions go through the per-thread ledger.
+        let thread_before = thread_live_bytes();
         let t = Tensor::zeros(&[256]);
-        assert_eq!(live_bytes(), before + 1024);
+        assert_eq!(thread_live_bytes(), thread_before + 1024);
+        assert!(peak_bytes() >= 1024);
         drop(t);
-        assert_eq!(live_bytes(), before);
+        assert_eq!(thread_live_bytes(), thread_before);
     }
 
     #[test]
     fn clone_allocates_its_own_buffer() {
         let t = Tensor::zeros(&[128]);
-        let before = live_bytes();
+        let before = thread_live_bytes();
         let c = t.clone();
-        assert_eq!(live_bytes(), before + 512);
+        assert_eq!(thread_live_bytes(), before + 512);
         drop(c);
-        assert_eq!(live_bytes(), before);
+        assert_eq!(thread_live_bytes(), before);
     }
 
     #[test]
@@ -132,7 +172,53 @@ mod tests {
         let scope = MemoryScope::enter();
         drop(t);
         // No allocation happened inside the scope; peak_extra must be 0 even
-        // though live level fell below the baseline.
+        // though the thread's live level fell below the baseline.
         assert_eq!(scope.peak_extra_bytes(), 0);
+    }
+
+    #[test]
+    fn concurrent_scopes_do_not_attribute_each_other() {
+        // Regression for the old global-peak design, where a scope on one
+        // thread absorbed allocations made on another. Two threads allocate
+        // wildly different amounts while synchronized at a barrier, so the
+        // allocations demonstrably interleave in time.
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let sizes = [100usize, 100_000usize]; // 400 B vs 400 KB
+        let handles: Vec<_> = sizes
+            .iter()
+            .map(|&elems| {
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let scope = MemoryScope::enter();
+                    barrier.wait();
+                    let t = Tensor::zeros(&[elems]);
+                    barrier.wait(); // both allocations are now live
+                    drop(t);
+                    scope.peak_extra_bytes()
+                })
+            })
+            .collect();
+        let measured: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(measured[0], 400, "small task charged for the big one");
+        assert_eq!(measured[1], 400_000, "big task mismeasured");
+    }
+
+    #[test]
+    fn cross_thread_drop_keeps_ledgers_consistent() {
+        let alloc_before = thread_live_bytes();
+        let t = Tensor::zeros(&[512]); // 2048 bytes, charged to this thread
+        assert_eq!(thread_live_bytes(), alloc_before + 2048);
+        let dropper_delta = std::thread::spawn(move || {
+            let before = thread_live_bytes();
+            drop(t);
+            thread_live_bytes() - before
+        })
+        .join()
+        .unwrap();
+        // The dropping thread's ledger goes negative by the buffer size;
+        // the allocating thread's ledger stays charged. The global ledger
+        // (shared with concurrent tests) nets the two out.
+        assert_eq!(dropper_delta, -2048);
+        assert_eq!(thread_live_bytes(), alloc_before + 2048);
     }
 }

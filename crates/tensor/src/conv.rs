@@ -10,7 +10,11 @@
 //! counterparts.
 
 use crate::cast::idx_to_usize;
-use crate::{sanitize, Result, Tensor, TensorError};
+use crate::{par, sanitize, Result, Tensor, TensorError};
+
+/// Minimum output cells per parallel part for the lowering kernels; below
+/// this the whole buffer is filled inline.
+const PAR_MIN_CELLS: usize = 16 * 1024;
 
 /// Geometry of a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,10 +99,18 @@ pub fn im2col2d(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
     let patch = geom.patch_len();
     let mut out = vec![0.0f32; n * oh * ow * patch];
     let x = input.as_slice();
-    for i in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((i * oh + oy) * ow + ox) * patch;
+    // Parallel over flat patch rows: each row is written by exactly one
+    // thread and depends only on its own (i, oy, ox) coordinates, so the
+    // result is identical for any partition.
+    if patch > 0 && oh * ow > 0 {
+        let min_rows = (PAR_MIN_CELLS / patch.max(1)).max(1);
+        par::for_each_part_mut(&mut out, patch, min_rows, |offset, rows| {
+            let mut r = offset / patch;
+            for row_buf in rows.chunks_exact_mut(patch) {
+                let i = r / (oh * ow);
+                let rem = r % (oh * ow);
+                let oy = rem / ow;
+                let ox = rem % ow;
                 for ch in 0..c {
                     for ky in 0..kh {
                         let iy = (oy * s + ky) as isize - p as isize;
@@ -111,13 +123,13 @@ pub fn im2col2d(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
                                 continue;
                             }
                             let src = ((i * c + ch) * h + idx_to_usize(iy)) * w + idx_to_usize(ix);
-                            let dst = row + (ch * kh + ky) * kw + kx;
-                            out[dst] = x[src];
+                            row_buf[(ch * kh + ky) * kw + kx] = x[src];
                         }
                     }
                 }
+                r += 1;
             }
-        }
+        });
     }
     let cols = Tensor::from_vec(out, &[n * oh * ow, patch])?;
     sanitize::check_shape_contract("im2col2d", &[n * oh * ow, patch], cols.shape());
@@ -149,29 +161,40 @@ pub fn col2im2d(cols: &Tensor, n: usize, geom: &Conv2dGeom) -> Result<Tensor> {
     let (kh, kw, s, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
     let mut out = vec![0.0f32; n * c * h * w];
     let g = cols.as_slice();
-    for i in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((i * oh + oy) * ow + ox) * patch;
-                for ch in 0..c {
-                    for ky in 0..kh {
-                        let iy = (oy * s + ky) as isize - p as isize;
-                        if iy < 0 || iy >= h as isize {
-                            continue;
-                        }
-                        for kx in 0..kw {
-                            let ix = (ox * s + kx) as isize - p as isize;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
+    // Overlapping patches accumulate, but only within one sample's `[c, h,
+    // w]` block — so parallelizing over samples keeps every accumulation
+    // on a single thread in the original (oy, ox, ch, ky, kx) order.
+    let sample = c * h * w;
+    if sample > 0 && n > 0 {
+        let min_samples = (PAR_MIN_CELLS / (oh * ow * patch).max(1)).max(1);
+        par::for_each_part_mut(&mut out, sample, min_samples, |offset, part| {
+            let i0 = offset / sample;
+            for (local, out_sample) in part.chunks_exact_mut(sample).enumerate() {
+                let i = i0 + local;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let row = ((i * oh + oy) * ow + ox) * patch;
+                        for ch in 0..c {
+                            for ky in 0..kh {
+                                let iy = (oy * s + ky) as isize - p as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                for kx in 0..kw {
+                                    let ix = (ox * s + kx) as isize - p as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let dst = (ch * h + idx_to_usize(iy)) * w + idx_to_usize(ix);
+                                    let src = row + (ch * kh + ky) * kw + kx;
+                                    out_sample[dst] += g[src];
+                                }
                             }
-                            let dst = ((i * c + ch) * h + idx_to_usize(iy)) * w + idx_to_usize(ix);
-                            let src = row + (ch * kh + ky) * kw + kx;
-                            out[dst] += g[src];
                         }
                     }
                 }
             }
-        }
+        });
     }
     sanitize::check_finite_slice("col2im2d", "output", &out);
     Tensor::from_vec(out, &[n, c, h, w])
@@ -238,19 +261,25 @@ pub fn im2col1d(input: &Tensor, geom: &Conv1dGeom) -> Result<Tensor> {
     let patch = c * k;
     let mut out = vec![0.0f32; n * ol * patch];
     let x = input.as_slice();
-    for i in 0..n {
-        for o in 0..ol {
-            let row = (i * ol + o) * patch;
-            for ch in 0..c {
-                for kk in 0..k {
-                    let idx = (o * s + kk) as isize - p as isize;
-                    if idx < 0 || idx >= l as isize {
-                        continue;
+    if patch > 0 && ol > 0 {
+        let min_rows = (PAR_MIN_CELLS / patch.max(1)).max(1);
+        par::for_each_part_mut(&mut out, patch, min_rows, |offset, rows| {
+            let mut r = offset / patch;
+            for row_buf in rows.chunks_exact_mut(patch) {
+                let i = r / ol;
+                let o = r % ol;
+                for ch in 0..c {
+                    for kk in 0..k {
+                        let idx = (o * s + kk) as isize - p as isize;
+                        if idx < 0 || idx >= l as isize {
+                            continue;
+                        }
+                        row_buf[ch * k + kk] = x[(i * c + ch) * l + idx_to_usize(idx)];
                     }
-                    out[row + ch * k + kk] = x[(i * c + ch) * l + idx_to_usize(idx)];
                 }
+                r += 1;
             }
-        }
+        });
     }
     let cols = Tensor::from_vec(out, &[n * ol, patch])?;
     sanitize::check_shape_contract("im2col1d", &[n * ol, patch], cols.shape());
@@ -277,19 +306,27 @@ pub fn col2im1d(cols: &Tensor, n: usize, geom: &Conv1dGeom) -> Result<Tensor> {
     let (c, l, k, s, p) = (geom.channels, geom.len, geom.kernel, geom.stride, geom.padding);
     let mut out = vec![0.0f32; n * c * l];
     let g = cols.as_slice();
-    for i in 0..n {
-        for o in 0..ol {
-            let row = (i * ol + o) * patch;
-            for ch in 0..c {
-                for kk in 0..k {
-                    let idx = (o * s + kk) as isize - p as isize;
-                    if idx < 0 || idx >= l as isize {
-                        continue;
+    let sample = c * l;
+    if sample > 0 && n > 0 {
+        let min_samples = (PAR_MIN_CELLS / (ol * patch).max(1)).max(1);
+        par::for_each_part_mut(&mut out, sample, min_samples, |offset, part| {
+            let i0 = offset / sample;
+            for (local, out_sample) in part.chunks_exact_mut(sample).enumerate() {
+                let i = i0 + local;
+                for o in 0..ol {
+                    let row = (i * ol + o) * patch;
+                    for ch in 0..c {
+                        for kk in 0..k {
+                            let idx = (o * s + kk) as isize - p as isize;
+                            if idx < 0 || idx >= l as isize {
+                                continue;
+                            }
+                            out_sample[ch * l + idx_to_usize(idx)] += g[row + ch * k + kk];
+                        }
                     }
-                    out[(i * c + ch) * l + idx_to_usize(idx)] += g[row + ch * k + kk];
                 }
             }
-        }
+        });
     }
     sanitize::check_finite_slice("col2im1d", "output", &out);
     Tensor::from_vec(out, &[n, c, l])

@@ -34,6 +34,7 @@ pub mod cast;
 pub mod conv;
 mod error;
 pub mod json;
+pub mod par;
 pub mod rng;
 pub mod sanitize;
 mod tensor;

@@ -1,5 +1,117 @@
 use crate::json::{Json, ToJson};
-use crate::{alloc, cast, sanitize, Result, TensorError};
+use crate::{alloc, cast, par, sanitize, Result, TensorError};
+
+/// Minimum multiply-add count before a matmul-family kernel fans out to the
+/// pool; below this the spawn cost dominates the arithmetic.
+const PAR_MIN_FLOPS: usize = 32 * 1024;
+
+/// Minimum element count before an elementwise op fans out to the pool.
+const PAR_MIN_ELEMS: usize = 16 * 1024;
+
+/// Accumulating (axpy-style) kernel for a block of output rows, shared by
+/// [`Tensor::matmul`] (`a` row-major: stride `k`,1) and [`Tensor::t_matmul`]
+/// (`a` column-major view: stride 1,`m`).
+///
+/// Rows are processed four at a time so each streamed `b` row is reused
+/// across four accumulator rows (register blocking); every output element
+/// still accumulates its `k` products in ascending-`p` order, which keeps
+/// results bit-identical to the straightforward triple loop and independent
+/// of where the parallel partition boundary falls.
+fn axpy_row_block(
+    out_rows: &mut [f32],
+    i0: usize,
+    a: &[f32],
+    a_row_stride: usize,
+    a_col_stride: usize,
+    b: &[f32],
+    k: usize,
+    n: usize,
+) {
+    let mut rest = out_rows;
+    let mut i = i0;
+    while rest.len() >= 4 * n && n > 0 {
+        let (r0, tail) = rest.split_at_mut(n);
+        let (r1, tail) = tail.split_at_mut(n);
+        let (r2, tail) = tail.split_at_mut(n);
+        let (r3, tail) = tail.split_at_mut(n);
+        rest = tail;
+        for p in 0..k {
+            let b_row = &b[p * n..(p + 1) * n];
+            let c0 = a[i * a_row_stride + p * a_col_stride];
+            let c1 = a[(i + 1) * a_row_stride + p * a_col_stride];
+            let c2 = a[(i + 2) * a_row_stride + p * a_col_stride];
+            let c3 = a[(i + 3) * a_row_stride + p * a_col_stride];
+            for (j, &bv) in b_row.iter().enumerate() {
+                r0[j] += c0 * bv;
+                r1[j] += c1 * bv;
+                r2[j] += c2 * bv;
+                r3[j] += c3 * bv;
+            }
+        }
+        i += 4;
+    }
+    while !rest.is_empty() && n > 0 {
+        let (r0, tail) = rest.split_at_mut(n);
+        rest = tail;
+        for p in 0..k {
+            let c0 = a[i * a_row_stride + p * a_col_stride];
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in r0.iter_mut().zip(b_row) {
+                *o += c0 * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Dot-product kernel for a block of output rows of [`Tensor::matmul_t`]
+/// (`a` is `[m, k]`, `b` is `[n, k]`, both reduced along their contiguous
+/// axis). Columns are processed four at a time so each streamed `a` row is
+/// reused across four accumulators; each output element reduces in
+/// ascending-`p` order exactly like the naive loop.
+fn dot_row_block(out_rows: &mut [f32], i0: usize, a: &[f32], b: &[f32], k: usize, n: usize) {
+    for (local, out_row) in out_rows.chunks_exact_mut(n).enumerate() {
+        let i = i0 + local;
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let mut s0 = 0.0f32;
+            let mut s1 = 0.0f32;
+            let mut s2 = 0.0f32;
+            let mut s3 = 0.0f32;
+            for (p, &av) in a_row.iter().enumerate() {
+                s0 += av * b0[p];
+                s1 += av * b1[p];
+                s2 += av * b2[p];
+                s3 += av * b3[p];
+            }
+            out_row[j] = s0;
+            out_row[j + 1] = s1;
+            out_row[j + 2] = s2;
+            out_row[j + 3] = s3;
+            j += 4;
+        }
+        while j < n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+    }
+}
+
+/// Minimum rows per parallel part so each part clears [`PAR_MIN_FLOPS`]
+/// multiply-adds (`k * n` per row).
+fn min_rows_for(k: usize, n: usize) -> usize {
+    (PAR_MIN_FLOPS / (k * n).max(1)).max(1)
+}
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
@@ -378,13 +490,49 @@ impl Tensor {
         Ok(())
     }
 
+    /// Parallel elementwise combine used by the fixed arithmetic ops.
+    /// Per-element results are independent, so partitioning cannot change
+    /// them; `f` is a plain function pointer (capture-free, `Sync`).
+    fn binary_elementwise(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
+        self.zip_check(other, op)?;
+        let mut out = Tensor::zeros(&self.shape);
+        let a = self.data.as_slice();
+        let b = other.data.as_slice();
+        par::for_each_part_mut(&mut out.data, 1, PAR_MIN_ELEMS, |offset, part| {
+            let a_part = &a[offset..offset + part.len()];
+            let b_part = &b[offset..offset + part.len()];
+            for ((o, &x), &y) in part.iter_mut().zip(a_part).zip(b_part) {
+                *o = f(x, y);
+            }
+        });
+        Ok(out)
+    }
+
+    /// Parallel elementwise transform into a fresh tensor.
+    fn unary_elementwise(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut out = Tensor::zeros(&self.shape);
+        let a = self.data.as_slice();
+        par::for_each_part_mut(&mut out.data, 1, PAR_MIN_ELEMS, |offset, part| {
+            let a_part = &a[offset..offset + part.len()];
+            for (o, &x) in part.iter_mut().zip(a_part) {
+                *o = f(x);
+            }
+        });
+        out
+    }
+
     /// Elementwise sum.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_with(other, "add", |a, b| a + b)
+        self.binary_elementwise(other, "add", |a, b| a + b)
     }
 
     /// Elementwise difference.
@@ -393,7 +541,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_with(other, "sub", |a, b| a - b)
+        self.binary_elementwise(other, "sub", |a, b| a - b)
     }
 
     /// Elementwise product (Hadamard).
@@ -402,7 +550,7 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_with(other, "mul", |a, b| a * b)
+        self.binary_elementwise(other, "mul", |a, b| a * b)
     }
 
     /// Elementwise quotient.
@@ -411,10 +559,14 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn div(&self, other: &Tensor) -> Result<Tensor> {
-        self.zip_with(other, "div", |a, b| a / b)
+        self.binary_elementwise(other, "div", |a, b| a / b)
     }
 
     /// Applies `f` to corresponding elements of `self` and `other`.
+    ///
+    /// Runs serially: `f` is an arbitrary (possibly non-`Sync`) closure.
+    /// The fixed arithmetic ops ([`Tensor::add`] etc.) take the parallel
+    /// path instead.
     ///
     /// # Errors
     ///
@@ -442,9 +594,13 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
         self.zip_check(other, "add_assign")?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        let b = other.data.as_slice();
+        par::for_each_part_mut(&mut self.data, 1, PAR_MIN_ELEMS, |offset, part| {
+            let b_part = &b[offset..offset + part.len()];
+            for (a, &bv) in part.iter_mut().zip(b_part) {
+                *a += bv;
+            }
+        });
         Ok(())
     }
 
@@ -455,9 +611,13 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn scaled_add_assign(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
         self.zip_check(other, "scaled_add_assign")?;
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        let b = other.data.as_slice();
+        par::for_each_part_mut(&mut self.data, 1, PAR_MIN_ELEMS, |offset, part| {
+            let b_part = &b[offset..offset + part.len()];
+            for (a, &bv) in part.iter_mut().zip(b_part) {
+                *a += alpha * bv;
+            }
+        });
         Ok(())
     }
 
@@ -476,17 +636,21 @@ impl Tensor {
 
     /// Adds `s` to every element.
     pub fn add_scalar(&self, s: f32) -> Tensor {
-        self.map(|x| x + s)
+        self.unary_elementwise(move |x| x + s)
     }
 
     /// Multiplies every element by `s`.
     pub fn mul_scalar(&self, s: f32) -> Tensor {
-        self.map(|x| x * s)
+        self.unary_elementwise(move |x| x * s)
     }
 
     /// Multiplies every element by `s` in place.
     pub fn scale_inplace(&mut self, s: f32) {
-        self.map_inplace(|x| x * s);
+        par::for_each_part_mut(&mut self.data, 1, PAR_MIN_ELEMS, |_, part| {
+            for x in part.iter_mut() {
+                *x *= s;
+            }
+        });
     }
 
     /// Adds a rank-1 bias to every row of a rank-2 tensor.
@@ -497,7 +661,7 @@ impl Tensor {
     /// [`TensorError::ShapeMismatch`] if `bias.len()` differs from the column
     /// count.
     pub fn add_row_broadcast(&self, bias: &Tensor) -> Result<Tensor> {
-        let (r, c) = self.expect_matrix("add_row_broadcast")?;
+        let (_, c) = self.expect_matrix("add_row_broadcast")?;
         if bias.shape != [c] {
             return Err(TensorError::ShapeMismatch {
                 lhs: self.shape.clone(),
@@ -508,10 +672,16 @@ impl Tensor {
         sanitize::check_finite("add_row_broadcast", "input", self);
         sanitize::check_finite("add_row_broadcast", "bias", bias);
         let mut out = self.clone();
-        for i in 0..r {
-            for j in 0..c {
-                out.data[i * c + j] += bias.data[j];
-            }
+        if c > 0 {
+            let bias = bias.data.as_slice();
+            let min_rows = (PAR_MIN_ELEMS / c.max(1)).max(1);
+            par::for_each_part_mut(&mut out.data, c, min_rows, |_, rows| {
+                for row in rows.chunks_exact_mut(c) {
+                    for (o, &bv) in row.iter_mut().zip(bias) {
+                        *o += bv;
+                    }
+                }
+            });
         }
         Ok(out)
     }
@@ -522,8 +692,9 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors.
     ///
-    /// Uses an i-k-j loop order so the inner loop streams contiguously over
-    /// both the output row and the right-hand operand row.
+    /// Cache-blocked axpy kernel (i-k-j order, four output rows per block)
+    /// parallelized over output-row ranges on the [`par`] pool; results are
+    /// bit-identical for any thread count (see [`par`] module docs).
     ///
     /// # Errors
     ///
@@ -542,18 +713,12 @@ impl Tensor {
         sanitize::check_finite("matmul", "lhs", self);
         sanitize::check_finite("matmul", "rhs", other);
         let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if m > 0 && n > 0 {
+            let a = self.data.as_slice();
+            let b = other.data.as_slice();
+            par::for_each_part_mut(&mut out.data, n, min_rows_for(k, n), |offset, rows| {
+                axpy_row_block(rows, offset / n, a, k, 1, b, k, n);
+            });
         }
         sanitize::check_finite("matmul", "output", &out);
         Ok(out)
@@ -578,16 +743,12 @@ impl Tensor {
         sanitize::check_finite("matmul_t", "lhs", self);
         sanitize::check_finite("matmul_t", "rhs", other);
         let mut out = Tensor::zeros(&[m, n]);
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * n + j] = acc;
-            }
+        if m > 0 && n > 0 {
+            let a = self.data.as_slice();
+            let b = other.data.as_slice();
+            par::for_each_part_mut(&mut out.data, n, min_rows_for(k, n), |offset, rows| {
+                dot_row_block(rows, offset / n, a, b, k, n);
+            });
         }
         sanitize::check_finite("matmul_t", "output", &out);
         Ok(out)
@@ -612,18 +773,15 @@ impl Tensor {
         sanitize::check_finite("t_matmul", "lhs", self);
         sanitize::check_finite("t_matmul", "rhs", other);
         let mut out = Tensor::zeros(&[m, n]);
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        if m > 0 && n > 0 {
+            let a = self.data.as_slice();
+            let b = other.data.as_slice();
+            // `self` is `[k, m]`, so the coefficient for output row `i` at
+            // reduction step `p` sits at `a[p * m + i]` — same axpy kernel
+            // as `matmul`, with the stride pair swapped.
+            par::for_each_part_mut(&mut out.data, n, min_rows_for(k, n), |offset, rows| {
+                axpy_row_block(rows, offset / n, a, 1, m, b, k, n);
+            });
         }
         sanitize::check_finite("t_matmul", "output", &out);
         Ok(out)
@@ -642,12 +800,7 @@ impl Tensor {
                 op: "dot",
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| a * b)
-            .sum())
+        Ok(par::chunked_dot(&self.data, &other.data))
     }
 
     // ------------------------------------------------------------------
@@ -655,8 +808,11 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Sum of all elements.
+    ///
+    /// Uses the fixed-chunk association order of
+    /// [`par::chunked_sum`] — deterministic for any thread count.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        par::chunked_sum(&self.data)
     }
 
     /// Arithmetic mean of all elements (0 for an empty tensor).
@@ -695,14 +851,11 @@ impl Tensor {
     }
 
     /// Euclidean (L2) norm of the flattened tensor.
+    ///
+    /// Accumulates in `f64` with the fixed-chunk association order of
+    /// [`par::chunked_sumsq_f64`].
     pub fn norm_l2(&self) -> f32 {
-        cast::f64_to_f32(
-            self.data
-                .iter()
-                .map(|&x| f64::from(x) * f64::from(x))
-                .sum::<f64>()
-                .sqrt(),
-        )
+        cast::f64_to_f32(par::chunked_sumsq_f64(&self.data).sqrt())
     }
 
     /// Column sums of a rank-2 tensor (shape `[ncols]`).
