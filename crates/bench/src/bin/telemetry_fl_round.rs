@@ -1,0 +1,128 @@
+//! Telemetry profile of a small FL run: 2 clients, 2 rounds, synthetic
+//! Purchase100-mini data.
+//!
+//! Emits `bench-results/TELEMETRY_fl_round.json` with the full sorted span
+//! list (per-round / per-client / per-middleware / per-layer breakdowns),
+//! the deterministic metric values, the indented summary tree, and two
+//! health indicators:
+//!
+//! * `span_coverage` — the fraction of each root span's wall time covered
+//!   by its direct children (the acceptance bar is ≥ 0.95: spans must
+//!   account for where the time went, not just that it passed);
+//! * `bit_identical` — the global model of the instrumented run matches an
+//!   uninstrumented rerun bit for bit (observation must not perturb).
+
+use dinar_bench::report;
+use dinar_data::catalog::{self, Profile};
+use dinar_data::partition::{partition_dataset, Distribution};
+use dinar_fl::{FlConfig, FlSystem};
+use dinar_nn::models::{self, Activation};
+use dinar_nn::Model;
+use dinar_tensor::json::Json;
+use dinar_tensor::Rng;
+use dinar_telemetry::{export, MetricData, Telemetry};
+
+const CLIENTS: usize = 2;
+const ROUNDS: usize = 2;
+
+fn build_system() -> Result<FlSystem, Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(42);
+    let dataset = catalog::purchase100(Profile::Mini).generate(&mut rng)?;
+    let shards = partition_dataset(&dataset, CLIENTS, Distribution::Iid, &mut rng)?;
+    let arch = |rng: &mut Rng| -> dinar_nn::Result<Model> {
+        models::mlp(&[600, 32, 100], Activation::ReLU, rng)
+    };
+    Ok(FlSystem::builder(FlConfig {
+        local_epochs: 1,
+        batch_size: 64,
+        seed: 5,
+    })
+    .clients_from_shards(shards, arch, |_| {
+        Box::new(dinar_nn::optim::Adagrad::new(0.05))
+    })?
+    .build()?)
+}
+
+fn global_bits(system: &FlSystem) -> Vec<u32> {
+    system
+        .global_params()
+        .to_flat()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Instrumented run.
+    let tel = Telemetry::new();
+    let mut system = build_system()?;
+    system.set_telemetry(tel.clone());
+    system.run(ROUNDS)?;
+    let instrumented = global_bits(&system);
+
+    // Uninstrumented rerun from the same seeds: observation must be free.
+    let mut baseline = build_system()?;
+    baseline.run(ROUNDS)?;
+    let bit_identical = global_bits(&baseline) == instrumented;
+
+    let coverage = export::span_coverage(&tel);
+    let tree = export::summary_tree(&tel);
+    println!("span summary ({CLIENTS} clients, {ROUNDS} rounds):\n{tree}");
+    println!("span coverage: {:.1}%", coverage * 100.0);
+    println!("instrumented == uninstrumented: {bit_identical}");
+
+    let spans: Vec<Json> = export::sorted_spans(&tel)
+        .iter()
+        .map(|s| {
+            Json::obj(vec![
+                ("path", Json::Str(s.path.clone())),
+                ("start_us", Json::Num(s.start_us as f64)),
+                ("dur_us", Json::Num(s.dur_us as f64)),
+            ])
+        })
+        .collect();
+    let metrics: Vec<Json> = tel
+        .metrics()
+        .iter()
+        .map(|m| {
+            let data = match &m.data {
+                MetricData::Counter(v) => Json::Num(*v as f64),
+                MetricData::Gauge(v) => Json::Num(*v),
+                MetricData::Histogram { lo, hi, counts, total } => Json::obj(vec![
+                    ("lo", Json::Num(*lo)),
+                    ("hi", Json::Num(*hi)),
+                    ("total", Json::Num(*total as f64)),
+                    (
+                        "counts",
+                        Json::Arr(counts.iter().map(|&c| Json::Num(c as f64)).collect()),
+                    ),
+                ]),
+            };
+            Json::obj(vec![
+                ("name", Json::Str(m.name.clone())),
+                ("volatile", Json::Bool(m.volatile)),
+                ("value", data),
+            ])
+        })
+        .collect();
+
+    let doc = Json::obj(vec![
+        ("clients", Json::Num(CLIENTS as f64)),
+        ("rounds", Json::Num(ROUNDS as f64)),
+        ("span_coverage", Json::Num(coverage)),
+        ("bit_identical", Json::Bool(bit_identical)),
+        ("spans", Json::Arr(spans)),
+        ("metrics", Json::Arr(metrics)),
+        ("summary_tree", Json::Str(tree)),
+    ]);
+    let path = report::write_json("TELEMETRY_fl_round", &doc)?;
+    println!("wrote {}", path.display());
+
+    if !bit_identical {
+        return Err("instrumented run diverged from uninstrumented baseline".into());
+    }
+    if coverage < 0.95 {
+        return Err(format!("span coverage {coverage:.3} below the 0.95 bar").into());
+    }
+    Ok(())
+}

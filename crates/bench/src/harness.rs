@@ -415,7 +415,22 @@ pub fn train_defense(
     }
 
     let mut system = builder.build()?;
+    // Opt-in profiling: DINAR_PROFILE=1 attaches a telemetry sink for the
+    // training run and prints the span summary tree to stderr afterwards,
+    // so any figure/table binary can be profiled without a rebuild.
+    let profiling = std::env::var_os("DINAR_PROFILE").is_some();
+    if profiling {
+        system.set_telemetry(dinar_telemetry::Telemetry::new());
+    }
     let reports = system.run(spec.rounds)?;
+    if profiling {
+        eprintln!(
+            "DINAR_PROFILE [{} / {}]:\n{}",
+            spec.entry.name(),
+            defense.label(),
+            dinar_telemetry::export::summary_tree(system.telemetry())
+        );
+    }
     let cost = CostSample {
         client_train_s: reports.iter().map(|r| r.cost.client_train_s).sum::<f64>()
             / reports.len().max(1) as f64,

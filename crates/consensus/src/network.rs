@@ -1,18 +1,23 @@
-//! Threaded message-passing simulation of the broadcast vote.
+//! Pooled message-passing simulation of the broadcast vote.
 //!
-//! Every node runs on its own thread and communicates only through channels,
-//! so the protocol logic is exercised under real concurrency: messages arrive
-//! in arbitrary order, Byzantine nodes may equivocate or stay silent, and
-//! honest nodes must decide from whatever arrives before the round deadline.
+//! The round runs as a deterministic two-phase fan-out on the shared
+//! [`dinar_tensor::par`] pool instead of one raw thread per node:
+//!
+//! 1. **Broadcast** — every node computes its outbox in parallel. Byzantine
+//!    RNG draws happen inside the node's own task in ascending-peer order,
+//!    so the emitted values match the historical per-thread behaviour.
+//! 2. **Deliver + decide** — each honest node receives its inbox sorted by
+//!    sender id and decides with [`vote::decide`], which is order-independent
+//!    over the vote multiset anyway.
+//!
+//! The phases are barriers: every message is "sent" before any is delivered,
+//! which models a synchronous round (the old channel version approximated
+//! the same thing with a generous timeout). The outcome is bit-identical for
+//! any `DINAR_THREADS` setting because each node's messages and decision
+//! depend only on the config, never on scheduling.
 
 use crate::{vote, ConsensusError, Result};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::thread;
-use std::time::Duration;
-
-/// How long an honest node waits for missing votes before deciding with
-/// what it has (simulated round deadline).
-const ROUND_TIMEOUT: Duration = Duration::from_millis(500);
+use dinar_tensor::par;
 
 /// A vote message broadcast between nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,18 +114,55 @@ fn splitmix(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Runs the broadcast vote with one thread per node.
+/// Computes node `i`'s outgoing messages: `(destination, message)` pairs in
+/// ascending-destination order. Byzantine RNG draws happen here, in the same
+/// per-node stream and peer order as the original threaded simulation.
+fn outbox(i: usize, behavior: NodeBehavior, n: usize, config: &SimConfig) -> Vec<(usize, VoteMsg)> {
+    let peers = (0..n).filter(|&j| j != i);
+    let mut rng_state = config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
+    match behavior {
+        NodeBehavior::Honest { proposal } => peers
+            .map(|j| (j, VoteMsg { from: i, value: proposal }))
+            .collect(),
+        NodeBehavior::Byzantine(strategy) => match strategy {
+            ByzantineStrategy::Silent => Vec::new(),
+            ByzantineStrategy::Fixed(v) => peers
+                .map(|j| {
+                    (
+                        j,
+                        VoteMsg {
+                            from: i,
+                            value: v % config.num_choices,
+                        },
+                    )
+                })
+                .collect(),
+            ByzantineStrategy::Random => {
+                let v = (splitmix(&mut rng_state) % config.num_choices as u64) as usize;
+                peers.map(|j| (j, VoteMsg { from: i, value: v })).collect()
+            }
+            ByzantineStrategy::Equivocate => peers
+                .map(|j| {
+                    let v = (splitmix(&mut rng_state) % config.num_choices as u64) as usize;
+                    (j, VoteMsg { from: i, value: v })
+                })
+                .collect(),
+        },
+    }
+}
+
+/// Runs the broadcast vote as a two-phase fan-out on the shared pool.
 ///
-/// Honest nodes broadcast their proposal to every peer, wait for the round
-/// deadline (or all `n - 1` peer votes, whichever first), then decide with
-/// [`vote::decide`] over the received votes plus their own. Byzantine nodes
-/// behave per their [`ByzantineStrategy`] and report no decision.
+/// Honest nodes broadcast their proposal to every peer; after the broadcast
+/// barrier each honest node decides with [`vote::decide`] over the received
+/// votes plus its own. Byzantine nodes behave per their
+/// [`ByzantineStrategy`] and report no decision. The result is identical at
+/// every `DINAR_THREADS` width.
 ///
 /// # Errors
 ///
 /// Returns [`ConsensusError::InvalidConfig`] for zero nodes/choices or an
-/// out-of-range honest proposal, and [`ConsensusError::NodeFailure`] if a
-/// node thread panics.
+/// out-of-range honest proposal.
 pub fn simulate_vote(behaviors: &[NodeBehavior], config: &SimConfig) -> Result<VoteOutcome> {
     let n = behaviors.len();
     if n == 0 {
@@ -146,82 +188,36 @@ pub fn simulate_vote(behaviors: &[NodeBehavior], config: &SimConfig) -> Result<V
         }
     }
 
-    // All-to-all mailboxes: one channel per receiving node.
-    let mut senders: Vec<Sender<VoteMsg>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Option<Receiver<VoteMsg>>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = channel();
-        senders.push(tx);
-        receivers.push(Some(rx));
+    // Phase 1: every node computes its outbox in parallel.
+    let mut senders: Vec<(usize, NodeBehavior)> =
+        behaviors.iter().copied().enumerate().collect();
+    let outboxes: Vec<Vec<(usize, VoteMsg)>> =
+        par::map_items_mut(&mut senders, |_, &mut (i, behavior)| {
+            outbox(i, behavior, n, config)
+        });
+
+    // Barrier: deliver every message into per-node inboxes. Senders are
+    // walked in ascending id order, so each inbox is sorted by sender.
+    let mut inboxes: Vec<Vec<VoteMsg>> = vec![Vec::new(); n];
+    for msgs in &outboxes {
+        for &(dest, msg) in msgs {
+            inboxes[dest].push(msg);
+        }
     }
 
-    let mut handles = Vec::with_capacity(n);
-    for (i, behavior) in behaviors.iter().copied().enumerate() {
-        let my_rx = receivers[i].take().expect("receiver taken once");
-        let peers: Vec<(usize, Sender<VoteMsg>)> = senders
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != i)
-            .map(|(j, tx)| (j, tx.clone()))
-            .collect();
-        let num_choices = config.num_choices;
-        let mut rng_state = config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
-        handles.push(thread::spawn(move || -> Option<usize> {
-            match behavior {
-                NodeBehavior::Honest { proposal } => {
-                    for (_, tx) in &peers {
-                        // A disconnected peer is tolerated (it may be silent
-                        // Byzantine that already exited).
-                        let _ = tx.send(VoteMsg {
-                            from: i,
-                            value: proposal,
-                        });
-                    }
-                    let mut votes = vec![proposal]; // own vote
-                    while votes.len() < peers.len() + 1 {
-                        match my_rx.recv_timeout(ROUND_TIMEOUT) {
-                            Ok(msg) => votes.push(msg.value.min(num_choices - 1)),
-                            Err(_) => break, // deadline: decide with what we have
-                        }
-                    }
-                    vote::decide(&votes, num_choices).ok()
-                }
-                NodeBehavior::Byzantine(strategy) => {
-                    match strategy {
-                        ByzantineStrategy::Silent => {}
-                        ByzantineStrategy::Fixed(v) => {
-                            for (_, tx) in &peers {
-                                let _ = tx.send(VoteMsg {
-                                    from: i,
-                                    value: v % num_choices,
-                                });
-                            }
-                        }
-                        ByzantineStrategy::Random => {
-                            let v = (splitmix(&mut rng_state) % num_choices as u64) as usize;
-                            for (_, tx) in &peers {
-                                let _ = tx.send(VoteMsg { from: i, value: v });
-                            }
-                        }
-                        ByzantineStrategy::Equivocate => {
-                            for (_, tx) in &peers {
-                                let v =
-                                    (splitmix(&mut rng_state) % num_choices as u64) as usize;
-                                let _ = tx.send(VoteMsg { from: i, value: v });
-                            }
-                        }
-                    }
-                    None
-                }
+    // Phase 2: every honest node decides in parallel from its inbox.
+    let mut receivers: Vec<(NodeBehavior, Vec<VoteMsg>)> =
+        behaviors.iter().copied().zip(inboxes).collect();
+    let decisions: Vec<Option<usize>> =
+        par::map_items_mut(&mut receivers, |_, (behavior, inbox)| match behavior {
+            NodeBehavior::Honest { proposal } => {
+                let mut votes = vec![*proposal]; // own vote
+                votes.extend(inbox.iter().map(|m| m.value.min(config.num_choices - 1)));
+                vote::decide(&votes, config.num_choices).ok()
             }
-        }));
-    }
-    drop(senders);
+            NodeBehavior::Byzantine(_) => None,
+        });
 
-    let mut decisions = Vec::with_capacity(n);
-    for (i, h) in handles.into_iter().enumerate() {
-        decisions.push(h.join().map_err(|_| ConsensusError::NodeFailure { node: i })?);
-    }
     Ok(VoteOutcome {
         decisions,
         honest: behaviors
@@ -331,5 +327,24 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.decisions[3], None);
         assert!(outcome.decisions[..3].iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn outcome_is_identical_at_every_pool_width() {
+        let mut behaviors = honest(5, 2);
+        behaviors.push(NodeBehavior::Byzantine(ByzantineStrategy::Equivocate));
+        behaviors.push(NodeBehavior::Byzantine(ByzantineStrategy::Random));
+        let config = SimConfig {
+            num_choices: 4,
+            seed: 7,
+        };
+        let mut outcomes = Vec::new();
+        for width in [1usize, 2, 4] {
+            par::set_threads(width);
+            outcomes.push(simulate_vote(&behaviors, &config).unwrap());
+            par::reset_threads();
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
     }
 }

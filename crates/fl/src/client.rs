@@ -5,6 +5,7 @@ use dinar_data::Dataset;
 use dinar_nn::loss::CrossEntropyLoss;
 use dinar_nn::optim::Optimizer;
 use dinar_nn::{Model, ModelParams};
+use dinar_telemetry::{SpanGuard, Telemetry};
 use dinar_tensor::Rng;
 
 /// The parameter set a client uploads after local training, with the sample
@@ -36,6 +37,7 @@ pub struct FlClient {
     rng: Rng,
     local_epochs: usize,
     batch_size: usize,
+    telemetry: Telemetry,
 }
 
 impl FlClient {
@@ -73,7 +75,32 @@ impl FlClient {
             rng,
             local_epochs,
             batch_size,
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry sink to this client **and its model**: the
+    /// round protocol then emits `download` / `train` / `upload` spans, one
+    /// `mw[name]` span per middleware transform, and the model's per-layer
+    /// spans nested beneath them.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.model.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The client's telemetry handle (disabled unless
+    /// [`set_telemetry`](FlClient::set_telemetry) was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Opens this client's per-round span under the explicit `parent` path
+    /// — the fan-out in [`FlSystem`](crate::FlSystem) runs clients on pool
+    /// threads whose span stack starts empty, so the round lineage must be
+    /// seeded explicitly.
+    pub fn round_span(&self, parent: &str) -> SpanGuard {
+        self.telemetry
+            .span_at(parent, &format!("client[{}]", self.id))
     }
 
     /// Client id.
@@ -118,8 +145,14 @@ impl FlClient {
     ///
     /// Propagates middleware and shape errors.
     pub fn receive_global(&mut self, global: &ModelParams) -> Result<()> {
+        let _span = self.telemetry.span("download");
         let mut install = global.clone();
         for mw in &mut self.middleware {
+            let _mw_span = if self.telemetry.is_enabled() {
+                Some(self.telemetry.span(&format!("mw[{}]", mw.name())))
+            } else {
+                None
+            };
             mw.transform_download(self.id, &mut install)?;
         }
         self.model.set_params(&install)?;
@@ -133,6 +166,7 @@ impl FlClient {
     ///
     /// Propagates forward/backward and optimizer errors.
     pub fn train_local(&mut self) -> Result<f32> {
+        let _span = self.telemetry.span("train");
         let loss_fn = CrossEntropyLoss;
         let mut total = 0.0f64;
         let mut batches = 0u32;
@@ -158,8 +192,14 @@ impl FlClient {
     ///
     /// Propagates middleware errors.
     pub fn produce_update(&mut self) -> Result<ClientUpdate> {
+        let _span = self.telemetry.span("upload");
         let mut params = self.model.params();
         for mw in &mut self.middleware {
+            let _mw_span = if self.telemetry.is_enabled() {
+                Some(self.telemetry.span(&format!("mw[{}]", mw.name())))
+            } else {
+                None
+            };
             mw.transform_upload(self.id, &mut params)?;
         }
         Ok(ClientUpdate {

@@ -5,7 +5,8 @@ use dinar_data::Dataset;
 use dinar_metrics::cost::{measure, CostSample};
 use dinar_nn::optim::Optimizer;
 use dinar_nn::{Model, ModelParams};
-use dinar_tensor::{par, Rng};
+use dinar_telemetry::{bridge, Telemetry};
+use dinar_tensor::{par, profile, Rng};
 use std::time::Duration;
 
 /// Runs one round of local training for each referenced client on the
@@ -16,11 +17,16 @@ use std::time::Duration;
 /// per-thread memory scope attributes only that client's allocations.
 /// Tensor kernels invoked inside a worker run serially (nested parallel
 /// regions execute inline), preventing clients × threads oversubscription.
+///
+/// `span_parent` seeds each client's span lineage (worker threads start
+/// with an empty span stack); pass the enclosing round span's path.
 fn train_fan_out(
     clients: &mut [&mut FlClient],
     global: &ModelParams,
+    span_parent: &str,
 ) -> Vec<(Result<(f32, ClientUpdate)>, Duration, u64)> {
     par::map_items_mut(clients, |_, client| {
+        let _client_span = client.round_span(span_parent);
         measure(|| -> Result<_> {
             client.receive_global(global)?;
             let loss = client.train_local()?;
@@ -70,6 +76,7 @@ pub struct FlSystem {
     server: FlServer,
     clients: Vec<FlClient>,
     rounds_run: usize,
+    telemetry: Telemetry,
 }
 
 impl FlSystem {
@@ -121,7 +128,26 @@ impl FlSystem {
             server,
             clients,
             rounds_run,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink to the system and **every client** (and
+    /// through them, every client model). Each subsequent round emits a
+    /// `round[N]` span with nested `client[i]` (download / train / upload /
+    /// middleware / per-layer) and `aggregate` children, plus the bridged
+    /// tensor kernel counters; see `dinar-telemetry` for the export side.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for client in &mut self.clients {
+            client.set_telemetry(telemetry.clone());
+        }
+        self.telemetry = telemetry;
+    }
+
+    /// The system's telemetry handle (disabled unless
+    /// [`set_telemetry`](FlSystem::set_telemetry) was called).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Runs one FL round: every client downloads the global model, trains
@@ -131,9 +157,12 @@ impl FlSystem {
     ///
     /// Propagates client training, middleware and aggregation errors.
     pub fn run_round(&mut self) -> Result<RoundReport> {
+        let kernels_before = profile::snapshot();
+        let round_span = self.telemetry.span(&format!("round[{}]", self.rounds_run + 1));
+        let span_parent = round_span.path().to_string();
         let global = self.server.global_params().clone();
         let mut refs: Vec<&mut FlClient> = self.clients.iter_mut().collect();
-        let results = train_fan_out(&mut refs, &global);
+        let results = train_fan_out(&mut refs, &global, &span_parent);
         drop(refs);
         let mut updates = Vec::with_capacity(self.clients.len());
         let mut loss_sum = 0.0f64;
@@ -146,9 +175,14 @@ impl FlSystem {
             peak_mem = peak_mem.max(mem);
             updates.push(update);
         }
-        let (agg_result, agg_elapsed, _) = measure(|| self.server.aggregate(&updates).map(|_| ()));
+        let (agg_result, agg_elapsed, _) = {
+            let _agg_span = self.telemetry.span("aggregate");
+            measure(|| self.server.aggregate(&updates).map(|_| ()))
+        };
         agg_result?;
         self.rounds_run += 1;
+        drop(round_span);
+        self.record_round_metrics(&kernels_before, updates.len(), peak_mem);
         Ok(RoundReport {
             round: self.rounds_run,
             mean_train_loss: (loss_sum / self.clients.len().max(1) as f64) as f32,
@@ -158,6 +192,29 @@ impl FlSystem {
                 client_peak_mem_bytes: peak_mem,
             },
         })
+    }
+
+    /// Post-round metrics: deterministic round/update counters, the bridged
+    /// tensor kernel delta for the round, and the volatile alloc/peak-memory
+    /// gauges.
+    fn record_round_metrics(
+        &self,
+        kernels_before: &profile::KernelSnapshot,
+        updates: usize,
+        peak_mem: u64,
+    ) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry.counter_add("fl.rounds", 1);
+        self.telemetry.counter_add("fl.updates", updates as u64);
+        bridge::record_kernel_delta(
+            &self.telemetry,
+            &profile::snapshot().delta_since(kernels_before),
+        );
+        bridge::record_alloc_gauges(&self.telemetry);
+        self.telemetry
+            .gauge_max_volatile("fl.client_peak_mem_bytes", peak_mem as f64);
     }
 
     /// Runs `rounds` FL rounds and returns the per-round reports.
@@ -197,6 +254,9 @@ impl FlSystem {
         selected.truncate(participants);
         selected.sort_unstable();
 
+        let kernels_before = profile::snapshot();
+        let round_span = self.telemetry.span(&format!("round[{}]", self.rounds_run + 1));
+        let span_parent = round_span.path().to_string();
         let global = self.server.global_params().clone();
         // Collect &mut references to the selected clients (indices are
         // sorted, so a single forward sweep suffices).
@@ -210,7 +270,7 @@ impl FlSystem {
                 }
             }
         }
-        let results = train_fan_out(&mut refs, &global);
+        let results = train_fan_out(&mut refs, &global, &span_parent);
         drop(refs);
         let mut updates = Vec::with_capacity(participants);
         let mut loss_sum = 0.0f64;
@@ -223,9 +283,14 @@ impl FlSystem {
             peak_mem = peak_mem.max(mem);
             updates.push(update);
         }
-        let (agg_result, agg_elapsed, _) = measure(|| self.server.aggregate(&updates).map(|_| ()));
+        let (agg_result, agg_elapsed, _) = {
+            let _agg_span = self.telemetry.span("aggregate");
+            measure(|| self.server.aggregate(&updates).map(|_| ()))
+        };
         agg_result?;
         self.rounds_run += 1;
+        drop(round_span);
+        self.record_round_metrics(&kernels_before, updates.len(), peak_mem);
         Ok(RoundReport {
             round: self.rounds_run,
             mean_train_loss: (loss_sum / participants as f64) as f32,
@@ -361,6 +426,7 @@ impl FlSystemBuilder {
             server,
             clients: self.clients,
             rounds_run: 0,
+            telemetry: Telemetry::disabled(),
         })
     }
 }

@@ -234,7 +234,10 @@ impl<M: crate::ClientMiddleware> crate::ClientMiddleware for Traced<M> {
     }
 
     fn name(&self) -> &'static str {
-        "traced"
+        // Surface the wrapped middleware's identity: a decorator that
+        // renames everything to "traced" hides which defense ran in
+        // summaries and span paths.
+        self.inner.name()
     }
 }
 

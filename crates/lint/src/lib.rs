@@ -3,7 +3,7 @@
 //! An in-repo, token-level static-analysis pass for the DINAR workspace.
 //! The reproduction's claims (attack AUC, per-layer sensitivity, figure
 //! regeneration) depend on determinism and error-handling discipline that
-//! generic tooling cannot check, so this crate enforces six repo-specific
+//! generic tooling cannot check, so this crate enforces seven repo-specific
 //! invariants:
 //!
 //! | rule | invariant |
@@ -14,6 +14,7 @@
 //! | L004 | no bare `as` numeric casts in the tensor hot paths (use `dinar_tensor::cast`) |
 //! | L005 | every manifest declares only in-repo dependencies (hermetic builds) |
 //! | L006 | no raw `thread::spawn`/`thread::scope` outside the worker pool (`dinar_tensor::par`) and the threaded transport |
+//! | L007 | no ambient `Instant::now()` outside the sanctioned clock modules (`clock.rs`, `timing.rs`, `dinar-telemetry`) |
 //!
 //! Pre-existing violations live in a committed [`baseline::BASELINE_FILE`]
 //! and only *rising* counts fail (the ratchet), so the debt shrinks
@@ -152,7 +153,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
     let dirs = crate_dirs(root)?;
     let mut findings = Vec::new();
 
-    // Per-file rules (L001/L002/L004/L006) over crates/*/src and tests/.
+    // Per-file rules (L001/L002/L004/L006/L007) over crates/*/src and tests/.
     let mut files = Vec::new();
     for dir in &dirs {
         rs_files_under(&dir.join("src"), &mut files)?;

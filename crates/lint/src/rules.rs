@@ -1,4 +1,4 @@
-//! The rule catalog: six repo-specific invariants (L001–L006).
+//! The rule catalog: seven repo-specific invariants (L001–L007).
 //!
 //! Each rule is a pure function from preprocessed sources (or manifests) to
 //! [`Finding`]s, so the unit tests can drive them with inline fixtures and
@@ -24,6 +24,8 @@ pub enum Rule {
     /// No raw thread spawning outside the worker pool and the threaded
     /// transport.
     L006,
+    /// No ambient `Instant::now()` outside the sanctioned clock modules.
+    L007,
 }
 
 impl Rule {
@@ -37,6 +39,7 @@ impl Rule {
             Rule::L004 => "L004",
             Rule::L005 => "L005",
             Rule::L006 => "L006",
+            Rule::L007 => "L007",
         }
     }
 
@@ -49,11 +52,12 @@ impl Rule {
             Rule::L004 => "no bare `as` numeric casts in tensor hot paths",
             Rule::L005 => "manifests may declare only in-repo dependencies",
             Rule::L006 => "no raw thread spawning outside the worker pool",
+            Rule::L007 => "no Instant::now() outside the sanctioned clock modules",
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 7] {
         [
             Rule::L001,
             Rule::L002,
@@ -61,6 +65,7 @@ impl Rule {
             Rule::L004,
             Rule::L005,
             Rule::L006,
+            Rule::L007,
         ]
     }
 }
@@ -100,7 +105,7 @@ impl fmt::Display for Finding {
 /// Crates whose behaviour must be a pure function of their seeds. `bench`
 /// measures real time by design and `lint` is tooling; everything else in
 /// the workspace feeds figures that must replay bit-identically.
-pub const DETERMINISTIC_CRATES: [&str; 9] = [
+pub const DETERMINISTIC_CRATES: [&str; 10] = [
     "tensor",
     "nn",
     "core",
@@ -110,6 +115,7 @@ pub const DETERMINISTIC_CRATES: [&str; 9] = [
     "fl",
     "metrics",
     "data",
+    "telemetry",
 ];
 
 /// Tensor hot-path files subject to L004.
@@ -135,6 +141,23 @@ const L006_TOKENS: [&str; 2] = ["thread::spawn", "thread::scope"];
 /// network endpoints, one long-lived thread per client — not data
 /// parallelism).
 pub const L006_EXEMPT: [&str; 2] = ["crates/tensor/src/par.rs", "crates/fl/src/transport.rs"];
+
+/// The wall-clock token banned by L007 everywhere except the sanctioned
+/// clock modules. Unlike L002 (which covers only the deterministic crates),
+/// L007 is repo-wide: even benchmarks must read time through an injectable
+/// [`Clock`](../../telemetry/src/clock.rs) or the bench timing helpers so
+/// profiles replay under `ManualClock`.
+const L007_TOKEN: &str = "Instant::now";
+
+/// Is `path` one of the sanctioned wall-clock modules exempt from L007?
+/// `clock.rs` files (the `Clock` implementations), `timing.rs` (the bench
+/// measurement loop), and the telemetry crate (which owns the clock
+/// abstraction) may call `Instant::now` directly.
+fn l007_exempt(path: &str) -> bool {
+    path.ends_with("/clock.rs")
+        || path.ends_with("/timing.rs")
+        || path.starts_with("crates/telemetry/")
+}
 
 /// Is the byte at `idx` the start of a word-bounded occurrence of `needle`?
 fn word_bounded(line: &str, idx: usize, needle: &str) -> bool {
@@ -173,6 +196,7 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
     check_l002(path, &stripped, &mut findings);
     check_l004(path, &stripped, &mut findings);
     check_l006(path, &stripped, &mut findings);
+    check_l007(path, &stripped, &mut findings);
     findings
 }
 
@@ -280,6 +304,32 @@ fn check_l006(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
                     ),
                 });
             }
+        }
+    }
+}
+
+/// L007: ambient `Instant::now()` outside the sanctioned clock modules.
+/// Direct wall-clock reads cannot be replayed: telemetry spans and bench
+/// profiles must flow through an injectable `Clock` (swap in `ManualClock`
+/// for bit-identical reruns) or the bench `timing` helpers.
+fn check_l007(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    if !path.contains("/src/") || l007_exempt(path) {
+        return;
+    }
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L007", n) {
+            continue;
+        }
+        for _ in 0..occurrences(line, L007_TOKEN) {
+            findings.push(Finding {
+                rule: Rule::L007,
+                file: path.to_string(),
+                line: n,
+                message: "`Instant::now` outside a sanctioned clock module; inject a \
+                          `Clock` (dinar_telemetry) or annotate `lint: allow(L007, reason)`"
+                    .to_string(),
+            });
         }
     }
 }
@@ -502,6 +552,33 @@ mod tests {
                    #[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }\n";
         let findings = check_source("crates/fl/src/clock.rs", src);
         assert!(findings.iter().all(|f| f.rule != Rule::L006), "{findings:?}");
+    }
+
+    #[test]
+    fn l007_flags_ambient_wall_clock_outside_clock_modules() {
+        let src = "fn f() { let t = Instant::now(); }";
+        let hits = check_source("crates/metrics/src/cost.rs", src)
+            .iter()
+            .filter(|f| f.rule == Rule::L007)
+            .count();
+        assert_eq!(hits, 1);
+        for exempt in [
+            "crates/fl/src/clock.rs",
+            "crates/bench/src/timing.rs",
+            "crates/telemetry/src/clock.rs",
+            "crates/telemetry/src/span.rs",
+        ] {
+            let findings = check_source(exempt, src);
+            assert!(findings.iter().all(|f| f.rule != Rule::L007), "{exempt}");
+        }
+    }
+
+    #[test]
+    fn l007_allow_annotation_and_tests_suppress() {
+        let src = "// lint: allow(L007, wall time by design)\nlet t = Instant::now();\n\
+                   #[cfg(test)]\nmod tests { fn t() { let x = Instant::now(); } }\n";
+        let findings = check_source("crates/bench/src/harness.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L007), "{findings:?}");
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::{Layer, LayerParams, ModelParams, NnError, Result};
 use dinar_tensor::Tensor;
+use dinar_telemetry::Telemetry;
 
 /// A feed-forward model: an ordered sequence of [`Layer`]s.
 ///
@@ -29,6 +30,7 @@ use dinar_tensor::Tensor;
 pub struct Model {
     layers: Vec<Box<dyn Layer>>,
     trainable: Vec<usize>,
+    telemetry: Telemetry,
 }
 
 impl Model {
@@ -40,7 +42,20 @@ impl Model {
             .filter(|(_, l)| l.is_trainable())
             .map(|(i, _)| i)
             .collect();
-        Model { layers, trainable }
+        Model {
+            layers,
+            trainable,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry sink: every forward/backward pass then emits a
+    /// `fwd[i:name]` / `bwd[i:name]` span per layer (nested under whatever
+    /// span is open on the calling thread) and a `nn.grad_l2[slot:name]`
+    /// high-water gauge per trainable layer after each backward pass.
+    /// Numerical behaviour is unchanged — the hooks only read.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of trainable (parameter-bearing) layers.
@@ -68,7 +83,12 @@ impl Model {
     /// Propagates any layer error (typically shape mismatches).
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor> {
         let mut x = input.clone();
-        for layer in &mut self.layers {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let _span = if self.telemetry.is_enabled() {
+                Some(self.telemetry.span(&format!("fwd[{i}:{}]", layer.name())))
+            } else {
+                None
+            };
             x = layer.forward(&x, train)?;
         }
         Ok(x)
@@ -83,10 +103,16 @@ impl Model {
     /// not been called.
     pub fn backward(&mut self, grad_logits: &Tensor) -> Result<Tensor> {
         let mut g = grad_logits.clone();
-        for layer in self.layers.iter_mut().rev() {
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let _span = if self.telemetry.is_enabled() {
+                Some(self.telemetry.span(&format!("bwd[{i}:{}]", layer.name())))
+            } else {
+                None
+            };
             g = layer.backward(&g)?;
         }
         self.check_gradients_finite();
+        self.record_grad_norms();
         Ok(g)
     }
 
@@ -116,6 +142,26 @@ impl Model {
         }
     }
 
+    /// With telemetry attached, raises a `nn.grad_l2[slot:name]` gauge per
+    /// trainable layer to the L2 norm of its accumulated gradients. The
+    /// gauge is a high-water maximum, so concurrent clients sharing a sink
+    /// update it commutatively (deterministic final value).
+    fn record_grad_norms(&self) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        for (slot, &i) in self.trainable.iter().enumerate() {
+            let layer = &self.layers[i];
+            let sumsq: f64 = layer
+                .grads()
+                .iter()
+                .map(|g| dinar_tensor::par::chunked_sumsq_f64(g.as_slice()))
+                .sum();
+            self.telemetry
+                .gauge_max(&format!("nn.grad_l2[{slot}:{}]", layer.name()), sumsq.sqrt());
+        }
+    }
+
     /// Runs the backward pass like [`Model::backward`], additionally
     /// returning, for every **trainable** layer, the gradient of the loss
     /// with respect to that layer's *output* (the backpropagated error
@@ -139,6 +185,7 @@ impl Model {
             g = layer.backward(&g)?;
         }
         self.check_gradients_finite();
+        self.record_grad_norms();
         Ok(taps
             .into_iter()
             .map(|t| t.expect("every trainable layer was visited"))

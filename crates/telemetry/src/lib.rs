@@ -1,0 +1,251 @@
+//! # dinar-telemetry
+//!
+//! Observability substrate for the DINAR reproduction: hierarchical
+//! [`span`]s timed by an injectable [`Clock`], a thread-safe metrics
+//! [`registry`] (counters, gauges, histograms), a [`bridge`] from the
+//! `dinar-tensor` kernel/alloc counters, and deterministic JSONL /
+//! summary-tree [`export`]ers.
+//!
+//! The paper's evaluation is built from per-phase measurements — per-round
+//! training time, per-layer cost, memory footprint (Figs 8–11, Tables 2–3)
+//! — and this crate is the one instrument all layers share: `dinar-nn`
+//! times every layer's forward/backward, `dinar-fl` wraps rounds, clients
+//! and middleware in spans, and `dinar-bench` dumps the result next to each
+//! figure's data.
+//!
+//! # The handle
+//!
+//! [`Telemetry`] is a cheap clonable handle; all clones feed one sink. The
+//! [`Telemetry::disabled`] handle (also [`Default`]) holds no allocation
+//! and makes every operation an early-return on a `None` — instrumented
+//! hot paths cost one branch when profiling is off.
+//!
+//! ```
+//! use dinar_telemetry::{ManualClock, Telemetry};
+//! use std::sync::Arc;
+//!
+//! let tel = Telemetry::with_clock(Arc::new(ManualClock::new()));
+//! {
+//!     let _round = tel.span("round[1]");
+//!     let _train = tel.span("train");
+//!     tel.counter_add("steps", 1);
+//! }
+//! assert_eq!(tel.spans().len(), 2);
+//! ```
+//!
+//! # Determinism contract
+//!
+//! With a [`ManualClock`] and deterministic program flow, the *sorted*
+//! span list and the non-volatile metrics are identical for any
+//! `DINAR_THREADS`. See [`registry`] for which updates commute and
+//! [`export`] for the sorted, volatile-filtered emission.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod clock;
+pub mod export;
+pub mod registry;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use registry::{Counter, Gauge, Histo, MetricData, MetricValue, Registry};
+pub use span::{SpanGuard, SpanRecord};
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+#[derive(Debug)]
+struct Inner {
+    clock: Arc<dyn Clock>,
+    /// Shared with live [`SpanGuard`]s, which outlive no handle but may be
+    /// held on pool threads.
+    spans: Arc<Mutex<Vec<SpanRecord>>>,
+    registry: Registry,
+}
+
+/// Shared handle to one telemetry sink (spans + metrics + clock).
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// An enabled sink timed by a fresh [`WallClock`].
+    pub fn new() -> Self {
+        Telemetry::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// An enabled sink timed by `clock` — inject a [`ManualClock`] for
+    /// replayable traces.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                clock,
+                spans: Arc::new(Mutex::new(Vec::new())),
+                registry: Registry::new(),
+            })),
+        }
+    }
+
+    /// The no-op handle: records nothing, allocates nothing.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// `true` if this handle records.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Spans
+    // ------------------------------------------------------------------
+
+    /// Opens a span named `name` under the innermost span already open on
+    /// this thread (a root span if none is).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard::noop();
+        };
+        let path = match span::current_path() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        SpanGuard::begin(inner.spans.clone(), inner.clock.clone(), path)
+    }
+
+    /// Opens a span named `name` under the explicit `parent` path —
+    /// the lineage seed for work fanned out to pool threads, whose
+    /// thread-local span stack starts empty. An empty `parent` opens a
+    /// root span.
+    pub fn span_at(&self, parent: &str, name: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard::noop();
+        };
+        let path = if parent.is_empty() {
+            name.to_string()
+        } else {
+            format!("{parent}/{name}")
+        };
+        SpanGuard::begin(inner.spans.clone(), inner.clock.clone(), path)
+    }
+
+    /// Snapshot of all completed spans, in emission order (sort before
+    /// comparing across runs — see [`export::sorted_spans`]).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .spans
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        }
+    }
+
+    /// The clock driving this sink ([`None`] when disabled).
+    pub fn clock(&self) -> Option<Arc<dyn Clock>> {
+        self.inner.as_ref().map(|i| i.clock.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics
+    // ------------------------------------------------------------------
+
+    /// The metrics registry ([`None`] when disabled). Hot paths should
+    /// cache the typed handles this hands out.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_ref().map(|i| &i.registry)
+    }
+
+    /// Adds `v` to the deterministic counter `name`.
+    pub fn counter_add(&self, name: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name, false).add(v);
+        }
+    }
+
+    /// Adds `v` to the **volatile** (scheduling-dependent) counter `name`.
+    pub fn counter_add_volatile(&self, name: &str, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.counter(name, true).add(v);
+        }
+    }
+
+    /// Raises the deterministic gauge `name` to `v` if larger
+    /// (commutative — safe from concurrent clients).
+    pub fn gauge_max(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name, false).maximize(v);
+        }
+    }
+
+    /// Overwrites the deterministic gauge `name` (single-writer
+    /// discipline: concurrent setters make the value last-write-wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name, false).set(v);
+        }
+    }
+
+    /// Overwrites the **volatile** gauge `name`.
+    pub fn gauge_set_volatile(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name, true).set(v);
+        }
+    }
+
+    /// Raises the **volatile** gauge `name` to `v` if larger.
+    pub fn gauge_max_volatile(&self, name: &str, v: f64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.gauge(name, true).maximize(v);
+        }
+    }
+
+    /// Records `x` into the deterministic histogram `name`, creating it
+    /// with `bins` bins over `[lo, hi]` on first touch.
+    pub fn observe(&self, name: &str, lo: f64, hi: f64, bins: usize, x: f32) {
+        if let Some(inner) = &self.inner {
+            inner.registry.histogram(name, lo, hi, bins, false).observe(x);
+        }
+    }
+
+    /// Snapshots every metric in name order (empty when disabled).
+    pub fn metrics(&self) -> Vec<MetricValue> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.registry.export(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_default_and_free() {
+        let tel = Telemetry::default();
+        assert!(!tel.is_enabled());
+        tel.counter_add("x", 1);
+        tel.gauge_max("y", 1.0);
+        tel.observe("z", 0.0, 1.0, 4, 0.5);
+        assert!(tel.metrics().is_empty());
+        assert!(tel.clock().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let tel = Telemetry::with_clock(Arc::new(ManualClock::new()));
+        let other = tel.clone();
+        other.counter_add("shared", 2);
+        tel.counter_add("shared", 3);
+        match &tel.metrics()[0].data {
+            MetricData::Counter(v) => assert_eq!(*v, 5),
+            other => panic!("expected counter, got {other:?}"),
+        }
+        drop(other.span("from-clone"));
+        assert_eq!(tel.spans().len(), 1);
+    }
+}

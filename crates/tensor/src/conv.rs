@@ -133,6 +133,7 @@ pub fn im2col2d(input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
     }
     let cols = Tensor::from_vec(out, &[n * oh * ow, patch])?;
     sanitize::check_shape_contract("im2col2d", &[n * oh * ow, patch], cols.shape());
+    crate::profile::record_im2col(cols.len() as u64 * 4);
     Ok(cols)
 }
 
@@ -197,6 +198,7 @@ pub fn col2im2d(cols: &Tensor, n: usize, geom: &Conv2dGeom) -> Result<Tensor> {
         });
     }
     sanitize::check_finite_slice("col2im2d", "output", &out);
+    crate::profile::record_col2im(out.len() as u64 * 4);
     Tensor::from_vec(out, &[n, c, h, w])
 }
 
@@ -283,6 +285,7 @@ pub fn im2col1d(input: &Tensor, geom: &Conv1dGeom) -> Result<Tensor> {
     }
     let cols = Tensor::from_vec(out, &[n * ol, patch])?;
     sanitize::check_shape_contract("im2col1d", &[n * ol, patch], cols.shape());
+    crate::profile::record_im2col(cols.len() as u64 * 4);
     Ok(cols)
 }
 
@@ -329,6 +332,7 @@ pub fn col2im1d(cols: &Tensor, n: usize, geom: &Conv1dGeom) -> Result<Tensor> {
         });
     }
     sanitize::check_finite_slice("col2im1d", "output", &out);
+    crate::profile::record_col2im(out.len() as u64 * 4);
     Tensor::from_vec(out, &[n, c, l])
 }
 

@@ -35,6 +35,7 @@ pub mod conv;
 mod error;
 pub mod json;
 pub mod par;
+pub mod profile;
 pub mod rng;
 pub mod sanitize;
 mod tensor;

@@ -162,6 +162,7 @@ where
         return;
     }
     let counts = split_counts(granules, parts);
+    crate::profile::record_pool_region(counts.iter().filter(|&&c| c > 0).count() as u64);
     let f = &f;
     std::thread::scope(|scope| {
         let mut rest = data;

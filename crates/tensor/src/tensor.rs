@@ -712,6 +712,7 @@ impl Tensor {
         }
         sanitize::check_finite("matmul", "lhs", self);
         sanitize::check_finite("matmul", "rhs", other);
+        crate::profile::record_matmul(m, k, n);
         let mut out = Tensor::zeros(&[m, n]);
         if m > 0 && n > 0 {
             let a = self.data.as_slice();
@@ -742,6 +743,7 @@ impl Tensor {
         }
         sanitize::check_finite("matmul_t", "lhs", self);
         sanitize::check_finite("matmul_t", "rhs", other);
+        crate::profile::record_matmul(m, k, n);
         let mut out = Tensor::zeros(&[m, n]);
         if m > 0 && n > 0 {
             let a = self.data.as_slice();
@@ -772,6 +774,7 @@ impl Tensor {
         }
         sanitize::check_finite("t_matmul", "lhs", self);
         sanitize::check_finite("t_matmul", "rhs", other);
+        crate::profile::record_matmul(m, k, n);
         let mut out = Tensor::zeros(&[m, n]);
         if m > 0 && n > 0 {
             let a = self.data.as_slice();

@@ -15,6 +15,7 @@
 //! | [`defenses`] | `dinar-defenses` | LDP, CDP, WDP, GC, SA baselines |
 //! | [`consensus`] | `dinar-consensus` | Byzantine-tolerant layer voting |
 //! | [`metrics`] | `dinar-metrics` | AUC, JS divergence, cost tracking |
+//! | [`telemetry`] | `dinar-telemetry` | spans, metrics registry, profiling export |
 //! | [`core`] | `dinar` | the DINAR middleware itself |
 //!
 //! # Quickstart
@@ -34,4 +35,5 @@ pub use dinar_defenses as defenses;
 pub use dinar_fl as fl;
 pub use dinar_metrics as metrics;
 pub use dinar_nn as nn;
+pub use dinar_telemetry as telemetry;
 pub use dinar_tensor as tensor;

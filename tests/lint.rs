@@ -1,5 +1,5 @@
 //! Workspace lint gate: runs the `dinar-lint` ratchet as part of
-//! `cargo test`, so a new violation of any repo invariant (L001–L005)
+//! `cargo test`, so a new violation of any repo invariant (L001–L007)
 //! fails CI even if nobody ran the CLI.
 
 use std::path::Path;
