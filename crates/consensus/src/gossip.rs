@@ -23,15 +23,8 @@
 //! converges to unanimous `v` with high probability in `O(n log n)` pairwise
 //! interactions — verified statistically by the tests below.
 
+use crate::fault::{splitmix, FaultKind, FaultPlan};
 use crate::{ConsensusError, Result};
-
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// A node's gossip state: its current candidate and conviction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -120,9 +113,11 @@ pub fn gossip_vote(
     let n = states.len();
     let mut rng = seed;
     let mut interactions = 0u64;
-    // Check convergence every n interactions to amortize the scan.
+    // Check convergence every (up to) n interactions to amortize the scan;
+    // the final sweep is clamped so the budget is respected *exactly*.
     while interactions < max_interactions {
-        for _ in 0..n {
+        let sweep = (n as u64).min(max_interactions - interactions);
+        for _ in 0..sweep {
             let i = (splitmix(&mut rng) % n as u64) as usize;
             let mut j = (splitmix(&mut rng) % (n as u64 - 1)) as usize;
             if j >= i {
@@ -146,6 +141,101 @@ pub fn gossip_vote(
         states,
         interactions,
         converged: false,
+    })
+}
+
+/// [`gossip_vote`] under node churn: nodes scheduled with a
+/// [`FaultKind::Crash`] in `plan` leave the population at the start of the
+/// given *sweep* (one sweep ≈ `n` pairwise meetings, the plan's "round",
+/// 1-based) and never interact again — their state freezes at its
+/// crash-time value. Other fault kinds model message-level conditions that
+/// have no meaning for state-merge gossip and are ignored here.
+///
+/// Convergence is judged over the *surviving* nodes: the outcome is
+/// `converged` when every non-crashed node agrees, and
+/// [`GossipOutcome::states`] retains the crashed nodes' frozen states (so
+/// [`GossipOutcome::unanimous_value`], which scans everyone, may still
+/// return `None` — ask the survivors instead). If churn leaves fewer than
+/// two live nodes, the run stops at that sweep.
+///
+/// Determinism: the interaction schedule is a pure function of
+/// `(seed, plan)`, so a run replays bit-identically.
+///
+/// # Errors
+///
+/// Same conditions as [`gossip_vote`].
+pub fn gossip_vote_under_churn(
+    proposals: &[usize],
+    num_choices: usize,
+    max_interactions: u64,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<GossipOutcome> {
+    if proposals.len() < 2 {
+        return Err(ConsensusError::InvalidConfig {
+            reason: "gossip needs at least two nodes".into(),
+        });
+    }
+    if let Some(&bad) = proposals.iter().find(|&&p| p >= num_choices) {
+        return Err(ConsensusError::InvalidConfig {
+            reason: format!("proposal {bad} out of range for {num_choices} choices"),
+        });
+    }
+    let mut states: Vec<GossipState> = proposals
+        .iter()
+        .map(|&value| GossipState { value, strong: true })
+        .collect();
+    let n = states.len();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut rng = seed;
+    let mut interactions = 0u64;
+    let mut sweep_no = 0usize;
+    while interactions < max_interactions {
+        sweep_no += 1;
+        // Apply this sweep's churn, then collect the surviving indices.
+        for node in 0..n {
+            if matches!(plan.action(node, sweep_no), Some(FaultKind::Crash)) {
+                alive[node] = false;
+            }
+        }
+        let live: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+        if live.len() < 2 {
+            break;
+        }
+        let m = live.len() as u64;
+        let sweep = m.min(max_interactions - interactions);
+        for _ in 0..sweep {
+            let ix = (splitmix(&mut rng) % m) as usize;
+            let mut jx = (splitmix(&mut rng) % (m - 1)) as usize;
+            if jx >= ix {
+                jx += 1;
+            }
+            let (i, j) = (live[ix], live[jx]);
+            let (a, b) = interact(states[i], states[j]);
+            states[i] = a;
+            states[j] = b;
+            interactions += 1;
+        }
+        let first = states[live[0]].value;
+        if live.iter().all(|&i| states[i].value == first) {
+            return Ok(GossipOutcome {
+                states,
+                interactions,
+                converged: true,
+            });
+        }
+    }
+    let converged = {
+        let live: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+        match live.first() {
+            Some(&first) => live.iter().all(|&i| states[i].value == states[first].value),
+            None => false,
+        }
+    };
+    Ok(GossipOutcome {
+        states,
+        interactions,
+        converged,
     })
 }
 
@@ -190,7 +280,69 @@ mod tests {
     fn interaction_budget_is_respected() {
         let proposals: Vec<usize> = (0..50).map(|i| i % 5).collect();
         let outcome = gossip_vote(&proposals, 5, 100, 3).unwrap();
-        assert!(outcome.interactions <= 150); // one extra sweep at most
+        assert!(outcome.interactions <= 100, "{}", outcome.interactions);
+    }
+
+    #[test]
+    fn interaction_budget_is_exact_for_non_multiple_of_population() {
+        // 75 is not a multiple of n = 50: the old per-sweep check would run
+        // a full second sweep and overshoot to 100.
+        let proposals: Vec<usize> = (0..50).map(|i| i % 5).collect();
+        let outcome = gossip_vote(&proposals, 5, 75, 3).unwrap();
+        assert!(
+            outcome.interactions <= 75,
+            "budget overshot: {}",
+            outcome.interactions
+        );
+        // An unconverged run must spend exactly its budget, not less.
+        if !outcome.converged {
+            assert_eq!(outcome.interactions, 75);
+        }
+    }
+
+    #[test]
+    fn churn_survivors_still_converge_on_majority() {
+        // 9 of 12 propose value 4; two of the minority nodes crash early.
+        let mut proposals = vec![4usize; 9];
+        proposals.extend([1, 2, 3]);
+        let plan = FaultPlan::new().crash(9, 2).crash(10, 3);
+        let outcome = gossip_vote_under_churn(&proposals, 6, 200_000, 11, &plan).unwrap();
+        assert!(outcome.converged);
+        // Every surviving node (all but 9 and 10) agrees on the majority.
+        for (i, s) in outcome.states.iter().enumerate() {
+            if i != 9 && i != 10 {
+                assert_eq!(s.value, 4, "node {i} disagrees");
+            }
+        }
+    }
+
+    #[test]
+    fn churn_run_is_deterministic() {
+        let proposals: Vec<usize> = (0..20).map(|i| usize::from(i % 3 == 0)).collect();
+        let plan = FaultPlan::seeded_dropout(5, 20, 10, 0.2).crash(3, 2);
+        let a = gossip_vote_under_churn(&proposals, 2, 50_000, 9, &plan).unwrap();
+        let b = gossip_vote_under_churn(&proposals, 2, 50_000, 9, &plan).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churn_below_two_live_nodes_stops() {
+        let plan = FaultPlan::new().crash(0, 1).crash(1, 1);
+        let outcome = gossip_vote_under_churn(&[0, 1, 2], 3, 10_000, 1, &plan).unwrap();
+        // One live node left: the run stops without spending the budget and
+        // the lone survivor is trivially unanimous.
+        assert!(outcome.interactions < 10_000);
+        assert!(outcome.converged);
+    }
+
+    #[test]
+    fn churn_with_empty_plan_matches_plain_gossip() {
+        let mut proposals = vec![2usize; 8];
+        proposals.extend([0, 1]);
+        let plain = gossip_vote(&proposals, 4, 100_000, 21).unwrap();
+        let churn =
+            gossip_vote_under_churn(&proposals, 4, 100_000, 21, &FaultPlan::new()).unwrap();
+        assert_eq!(plain, churn);
     }
 
     #[test]

@@ -47,11 +47,13 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fault;
 pub mod gossip;
 pub mod network;
 pub mod vote;
 
 pub use error::ConsensusError;
+pub use fault::{FaultKind, FaultPlan};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, ConsensusError>;

@@ -209,6 +209,24 @@ impl FlClient {
         })
     }
 
+    /// Runs the client's complete round protocol against `global`:
+    /// [`receive_global`](FlClient::receive_global) →
+    /// [`train_local`](FlClient::train_local) →
+    /// [`produce_update`](FlClient::produce_update). Returns the mean
+    /// training loss and the produced update. Both the sequential fan-out
+    /// and the threaded transport drive rounds through this single entry
+    /// point, so the two engines cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// Propagates middleware, training and shape errors.
+    pub fn run_protocol(&mut self, global: &ModelParams) -> Result<(f32, ClientUpdate)> {
+        self.receive_global(global)?;
+        let loss = self.train_local()?;
+        let update = self.produce_update()?;
+        Ok((loss, update))
+    }
+
     /// Accuracy of the client's current model on a labelled dataset.
     ///
     /// # Errors

@@ -4,5 +4,12 @@
 //! and the FL runtime share one time source; this module re-exports it for
 //! source compatibility (`dinar_fl::clock::ManualClock` keeps working).
 //! See `dinar_telemetry::clock` for the determinism rationale.
+//!
+//! The threaded transport also budgets its **round deadlines** on this
+//! clock (see [`crate::deadline`]): under a [`ManualClock`], whose
+//! `elapsed()` never advances on its own, a deadline never expires — which
+//! is exactly what replay tests need, because every client is then
+//! accounted for through explicit messages or liveness checks rather than
+//! timing.
 
 pub use dinar_telemetry::clock::{Clock, ManualClock, WallClock};

@@ -20,6 +20,17 @@ pub enum FlError {
     },
     /// Aggregation was attempted with no client updates.
     NoUpdates,
+    /// A client failed during a round: its thread died, it reported a
+    /// training error, or so many clients dropped out that the round fell
+    /// below its quorum. `client` names the (first) failed client.
+    ClientFailure {
+        /// Id of the failed client.
+        client: usize,
+        /// Round (1-based, absolute) in which the failure surfaced.
+        round: usize,
+        /// Human-readable description of the failure.
+        cause: String,
+    },
     /// A middleware reported a failure.
     Middleware {
         /// Middleware name.
@@ -37,6 +48,13 @@ impl fmt::Display for FlError {
             FlError::Tensor(e) => write!(f, "tensor error: {e}"),
             FlError::InvalidConfig { reason } => write!(f, "invalid FL configuration: {reason}"),
             FlError::NoUpdates => write!(f, "aggregation requires at least one client update"),
+            FlError::ClientFailure {
+                client,
+                round,
+                cause,
+            } => {
+                write!(f, "client {client} failed in round {round}: {cause}")
+            }
             FlError::Middleware { name, reason } => {
                 write!(f, "middleware `{name}` failed: {reason}")
             }
@@ -76,6 +94,20 @@ impl From<TensorError> for FlError {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn client_failure_names_client_round_and_cause() {
+        let e = FlError::ClientFailure {
+            client: 3,
+            round: 7,
+            cause: "thread died".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("client 3"), "{s}");
+        assert!(s.contains("round 7"), "{s}");
+        assert!(s.contains("thread died"), "{s}");
+        assert!(std::error::Error::source(&e).is_none());
+    }
 
     #[test]
     fn conversions_and_sources() {

@@ -51,8 +51,10 @@
 
 pub mod client;
 pub mod clock;
+pub mod deadline;
 mod error;
 pub mod eval;
+pub mod fault;
 pub mod middleware;
 pub mod server;
 pub mod system;
@@ -61,9 +63,11 @@ pub mod transport;
 
 pub use client::{ClientUpdate, FlClient};
 pub use error::FlError;
+pub use fault::{FaultKind, FaultPlan, Quorum, RetryPolicy, RoundFaultStats, RoundPolicy};
 pub use middleware::{ClientMiddleware, ServerMiddleware};
 pub use server::FlServer;
 pub use system::{FlConfig, FlSystem, RoundReport};
+pub use transport::{run_threaded, run_threaded_resilient, run_threaded_with_clock, ResilientRun};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FlError>;

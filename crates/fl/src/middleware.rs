@@ -6,6 +6,12 @@
 //! fit the same two hook points — LDP/WDP/GC/SA transform uploads, CDP
 //! transforms the server aggregate — so this module defines both traits and
 //! the engine threads every exchanged parameter set through them.
+//!
+//! Middleware and fault tolerance compose cleanly: the threaded transport
+//! drives each round through [`FlClient::run_protocol`](crate::FlClient::run_protocol),
+//! so download/upload transforms run on the client's own thread and a
+//! middleware error there surfaces as a fatal client failure (see
+//! [`crate::fault`]) rather than poisoning the server loop.
 
 use crate::Result;
 use dinar_nn::ModelParams;

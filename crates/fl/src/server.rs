@@ -44,6 +44,12 @@ impl FlServer {
     /// FedAvg-aggregates the client updates into a new global model and runs
     /// the server middleware chain over it.
     ///
+    /// The weights normalize over the updates *presented*, not over the full
+    /// client population — so a quorum round that lost some clients (see
+    /// [`transport::run_threaded_resilient`](crate::transport::run_threaded_resilient))
+    /// renormalizes gracefully over the arrived subset, exactly as FedAvg
+    /// with partial participation prescribes.
+    ///
     /// # Errors
     ///
     /// Returns [`FlError::NoUpdates`] for an empty update set, or shape
@@ -112,6 +118,19 @@ mod tests {
             .aggregate(&[update(0, 2.0, 50), update(1, 4.0, 50)])
             .unwrap();
         assert!((server.global_params().layers[0].tensors[0].as_slice()[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_participation_renormalizes_over_arrived_subset() {
+        // Three clients exist, but only two report (a quorum round). The
+        // weights must renormalize over the arrived 100 + 300 samples — the
+        // absent client's 600 samples play no part.
+        let mut server = FlServer::new(params(0.0));
+        server
+            .aggregate(&[update(0, 1.0, 100), update(2, 5.0, 300)])
+            .unwrap();
+        let g = server.global_params().layers[0].tensors[0].as_slice()[0];
+        assert!((g - 4.0).abs() < 1e-6, "partial FedAvg got {g}");
     }
 
     #[test]

@@ -27,12 +27,7 @@ fn train_fan_out(
 ) -> Vec<(Result<(f32, ClientUpdate)>, Duration, u64)> {
     par::map_items_mut(clients, |_, client| {
         let _client_span = client.round_span(span_parent);
-        measure(|| -> Result<_> {
-            client.receive_global(global)?;
-            let loss = client.train_local()?;
-            let update = client.produce_update()?;
-            Ok((loss, update))
-        })
+        measure(|| client.run_protocol(global))
     })
 }
 
@@ -117,12 +112,18 @@ impl FlSystem {
 
     /// Decomposes the system into its server, clients and completed-round
     /// count (used by the threaded transport, which needs to move clients
-    /// into their own threads).
+    /// into their own threads). The system-level telemetry handle is not
+    /// part of the tuple — callers that need it should clone it via
+    /// [`FlSystem::telemetry`] first (the threaded transport does, and
+    /// re-attaches it on reassembly); each client keeps carrying its own
+    /// handle across the move.
     pub fn into_parts(self) -> (FlServer, Vec<FlClient>, usize) {
         (self.server, self.clients, self.rounds_run)
     }
 
     /// Reassembles a system from parts produced by [`FlSystem::into_parts`].
+    /// The reassembled system starts with telemetry disabled; call
+    /// [`FlSystem::set_telemetry`] to re-attach a sink.
     pub fn from_parts(server: FlServer, clients: Vec<FlClient>, rounds_run: usize) -> Self {
         FlSystem {
             server,

@@ -1,4 +1,4 @@
-//! Threaded, message-passing execution of an FL system.
+//! Threaded, message-passing execution of an FL system — fault-tolerant.
 //!
 //! [`FlSystem::run`](crate::FlSystem::run) drives clients sequentially —
 //! ideal for deterministic benchmarking on one core. This module provides
@@ -8,24 +8,49 @@
 //! over the network. No memory is shared between server and clients beyond
 //! the messages.
 //!
-//! The two modes are behaviourally identical: client training is
-//! self-contained and the server sorts updates by client id before
-//! aggregating, so `run_threaded` produces bit-identical global models to
-//! the sequential engine given the same seeds (asserted by the integration
-//! tests).
+//! # Fault tolerance
+//!
+//! Unlike the sequential engine, the threaded engine must survive partial
+//! participation: client threads can die mid-round, drop their upload,
+//! straggle past a deadline, or fail transiently and recover. Collection is
+//! therefore **accounting-driven with a deadline backstop**
+//! ([`RoundPolicy`]): the server tracks every outstanding client until it is
+//! accounted for — by an update, a fault notice, a detected thread death, or
+//! the round deadline (budgeted on the injectable [`Clock`], so a
+//! [`ManualClock`](crate::clock::ManualClock) replay, whose deadline never
+//! expires, still terminates through the accounting paths). The round then
+//! aggregates if at least [`Quorum::required`] updates arrived — FedAvg is
+//! sample-weighted, so the partial aggregate renormalizes over the arrived
+//! subset — and otherwise fails with [`FlError::ClientFailure`]. Stale
+//! updates from earlier rounds are tag-checked and discarded. Transient
+//! failures are retried per [`RetryPolicy`]. Deterministic fault schedules
+//! come from a [`FaultPlan`].
+//!
+//! The two engines are behaviourally identical on a healthy system: client
+//! training is self-contained and the server sorts updates by client id
+//! before aggregating, so `run_threaded` produces bit-identical global
+//! models to the sequential engine given the same seeds, and keeps doing so
+//! under an injected [`FaultPlan`] for any worker-pool width (asserted by
+//! the integration tests).
 
 use crate::clock::{Clock, WallClock};
+use crate::deadline::{recv_blocking, DeadlineReceiver, Step};
+use crate::fault::{FaultKind, FaultPlan, RoundFaultStats, RoundPolicy};
 use crate::{ClientUpdate, FlClient, FlError, FlSystem, Result, RoundReport};
 use dinar_metrics::cost::CostSample;
 use dinar_nn::ModelParams;
+use dinar_telemetry::Telemetry;
+use dinar_tensor::alloc::MemoryScope;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 /// A message from the server to a client.
 #[derive(Debug)]
 pub enum ServerMsg {
-    /// Start a round: here is the current global model.
+    /// Start (or retry) a round: here is the current global model.
     StartRound {
         /// Round number (1-based).
         round: usize,
@@ -36,7 +61,7 @@ pub enum ServerMsg {
     Shutdown,
 }
 
-/// A message from a client to the server.
+/// A completed client round: the update plus its per-round measurements.
 #[derive(Debug)]
 pub struct ClientMsg {
     /// Round this update belongs to.
@@ -47,34 +72,97 @@ pub struct ClientMsg {
     pub train_loss: f32,
     /// Client-side wall-clock seconds spent this round.
     pub train_s: f64,
+    /// Peak extra tensor bytes this client's thread allocated during the
+    /// round (its own [`MemoryScope`] ledger — per-thread, so concurrent
+    /// clients never attribute each other's allocations).
+    pub peak_mem_bytes: u64,
+}
+
+/// Everything a client can tell the server during collection.
+#[derive(Debug)]
+pub enum ClientReply {
+    /// A finished round (possibly stale — the server tag-checks `round`).
+    Update(ClientMsg),
+    /// The client trained but its upload was lost ([`FaultKind::DropUpdate`]).
+    Dropped {
+        /// Reporting client.
+        client: usize,
+        /// Round the loss applies to.
+        round: usize,
+    },
+    /// The client is a straggler this round: its update will arrive during
+    /// a later round and be discarded as stale ([`FaultKind::Delay`]).
+    Delayed {
+        /// Reporting client.
+        client: usize,
+        /// Round being delayed.
+        round: usize,
+    },
+    /// A retryable failure: the server may re-dispatch the round.
+    Transient {
+        /// Failing client.
+        client: usize,
+        /// Round that failed.
+        round: usize,
+        /// Failure description.
+        cause: String,
+    },
+    /// A non-recoverable client error; the client thread exits after
+    /// sending this.
+    Fatal {
+        /// Failing client.
+        client: usize,
+        /// Round that failed.
+        round: usize,
+        /// Failure description.
+        cause: String,
+    },
 }
 
 struct ClientHandle {
+    id: usize,
     tx: Sender<ServerMsg>,
     join: thread::JoinHandle<Result<FlClient>>,
+    /// Set once the client is known gone (crashed, fatal error, or its
+    /// channel closed); the server stops dispatching rounds to it.
+    departed: bool,
 }
 
-/// Runs `rounds` FL rounds with one thread per client, consuming and
-/// returning the system.
+/// A completed fault-tolerant run: the reassembled system, the per-round
+/// reports, and the per-round fault accounting.
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// The system after the run, clients reassembled in id order.
+    pub system: FlSystem,
+    /// Per-round training reports (one per *completed* round).
+    pub reports: Vec<RoundReport>,
+    /// Per-round fault accounting, parallel to `reports`.
+    pub fault_stats: Vec<RoundFaultStats>,
+}
+
+/// Runs `rounds` FL rounds with one thread per client under the strict
+/// full-participation policy, consuming and returning the system.
 ///
 /// Message flow per round: the server broadcasts
 /// [`ServerMsg::StartRound`] to every client thread; each client installs
 /// the global model (running its download middleware), trains locally,
-/// applies its upload middleware and sends a [`ClientMsg`] back; the server
-/// collects all updates, sorts them by client id (for deterministic
+/// applies its upload middleware and sends a [`ClientReply`] back; the
+/// server collects all updates, sorts them by client id (for deterministic
 /// aggregation order) and runs FedAvg plus its server middleware.
 ///
 /// # Errors
 ///
-/// Propagates client training and aggregation errors; a panicked client
-/// thread surfaces as [`FlError::InvalidConfig`] naming the client.
+/// Propagates client training and aggregation errors; a dead, crashed or
+/// failed client thread surfaces as [`FlError::ClientFailure`] naming the
+/// client and round (the strict policy requires every client to report).
 pub fn run_threaded(system: FlSystem, rounds: usize) -> Result<(FlSystem, Vec<RoundReport>)> {
     run_threaded_with_clock(system, rounds, Arc::new(WallClock::new()))
 }
 
 /// [`run_threaded`] with an injected [`Clock`] for the per-round cost
-/// timings — pair with [`ManualClock`](crate::clock::ManualClock) to make
-/// the reported `CostSample`s deterministic in replay tests.
+/// timings and deadline budget — pair with
+/// [`ManualClock`](crate::clock::ManualClock) to make the reported
+/// `CostSample`s deterministic in replay tests.
 ///
 /// # Errors
 ///
@@ -84,114 +172,291 @@ pub fn run_threaded_with_clock(
     rounds: usize,
     clock: Arc<dyn Clock>,
 ) -> Result<(FlSystem, Vec<RoundReport>)> {
+    let run = run_threaded_resilient(system, rounds, clock, RoundPolicy::strict())?;
+    Ok((run.system, run.reports))
+}
+
+/// The fault-tolerant entry point: [`run_threaded_with_clock`] under an
+/// explicit [`RoundPolicy`] (deadline, quorum, retry, fault plan), returning
+/// per-round fault accounting alongside the reports.
+///
+/// Rounds proceed while at least [`Quorum::required`] updates arrive; a
+/// round that falls below quorum fails the run with
+/// [`FlError::ClientFailure`] naming the first failed client. Telemetry
+/// attached to the system before the call is preserved: rounds emit
+/// `round[N]` spans with `broadcast`/`collect`/`aggregate` children and the
+/// `fl.transport.*` fault counters.
+///
+/// [`Quorum::required`]: crate::fault::Quorum::required
+///
+/// # Errors
+///
+/// Returns [`FlError::InvalidConfig`] for an unmeetable quorum or a
+/// [`FaultKind::Stall`] plan without a deadline (a silent stall can only be
+/// resolved by a deadline); [`FlError::ClientFailure`] for below-quorum
+/// rounds; and propagates aggregation errors.
+pub fn run_threaded_resilient(
+    system: FlSystem,
+    rounds: usize,
+    clock: Arc<dyn Clock>,
+    policy: RoundPolicy,
+) -> Result<ResilientRun> {
+    let telemetry = system.telemetry().clone();
     let (mut server, clients, rounds_before) = system.into_parts();
-    let (update_tx, update_rx): (Sender<ClientMsg>, Receiver<ClientMsg>) = channel();
+    let num_clients = clients.len();
+    let required = policy.quorum.required(num_clients);
+    if required > num_clients {
+        return Err(FlError::InvalidConfig {
+            reason: format!("quorum of {required} exceeds the {num_clients} clients"),
+        });
+    }
+    if policy.deadline.is_none() && policy.faults.contains_kind(FaultKind::Stall) {
+        return Err(FlError::InvalidConfig {
+            reason: "a Stall fault plan requires a round deadline to resolve".into(),
+        });
+    }
+
+    let (reply_tx, reply_rx): (Sender<ClientReply>, Receiver<ClientReply>) = channel();
+    let plan = Arc::new(policy.faults.clone());
 
     // Spawn one thread per client; each owns its client state for the whole
     // training run and speaks only through channels.
-    let mut handles: Vec<ClientHandle> = Vec::with_capacity(clients.len());
-    for mut client in clients {
-        let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = channel();
-        let updates = update_tx.clone();
-        let client_clock = clock.clone();
-        let join = thread::spawn(move || -> Result<FlClient> {
-            while let Ok(msg) = rx.recv() {
-                match msg {
-                    ServerMsg::Shutdown => break,
-                    ServerMsg::StartRound { round, global } => {
-                        let t0 = client_clock.elapsed();
-                        client.receive_global(&global)?;
-                        let train_loss = client.train_local()?;
-                        let update = client.produce_update()?;
-                        // The server may already have shut down on another
-                        // client's error; a closed channel just ends us.
-                        let _ = updates.send(ClientMsg {
-                            round,
-                            update,
-                            train_loss,
-                            train_s: client_clock
-                                .elapsed()
-                                .saturating_sub(t0)
-                                .as_secs_f64(),
-                        });
+    let mut handles: Vec<ClientHandle> = Vec::with_capacity(num_clients);
+    for client in clients {
+        handles.push(spawn_client(client, reply_tx.clone(), clock.clone(), plan.clone()));
+    }
+    drop(reply_tx);
+    // Client id → handle index, for retry dispatch and liveness checks.
+    let index: BTreeMap<usize, usize> = handles
+        .iter()
+        .enumerate()
+        .map(|(i, h)| (h.id, i))
+        .collect();
+
+    let mut reports = Vec::with_capacity(rounds);
+    let mut fault_stats = Vec::with_capacity(rounds);
+    let mut error: Option<FlError> = None;
+    'rounds: for r in 1..=rounds {
+        let round_span = telemetry.span(&format!("round[{}]", rounds_before + r));
+        let global = server.global_params().clone();
+
+        // Broadcast to every client still alive; a failed send means the
+        // thread is gone — account it as dropped instead of failing the run.
+        let mut pending: BTreeSet<usize> = BTreeSet::new();
+        let mut dropped = 0usize;
+        // First failure observed this round, for the below-quorum error.
+        let mut first_failure: Option<(usize, String)> = None;
+        {
+            let _bspan = telemetry.span("broadcast");
+            for handle in handles.iter_mut() {
+                if handle.departed {
+                    dropped += 1;
+                    continue;
+                }
+                let sent = handle.tx.send(ServerMsg::StartRound {
+                    round: r,
+                    global: global.clone(),
+                });
+                if sent.is_err() {
+                    handle.departed = true;
+                    dropped += 1;
+                    first_failure.get_or_insert((
+                        handle.id,
+                        "client thread exited before the round started".into(),
+                    ));
+                } else {
+                    pending.insert(handle.id);
+                }
+            }
+        }
+
+        // Collect until every dispatched client is accounted for or the
+        // deadline (extended by retry backoff) expires.
+        let round_start = clock.elapsed();
+        let mut extension = Duration::ZERO;
+        let mut retries: BTreeMap<usize, u32> = BTreeMap::new();
+        let mut updates: Vec<ClientMsg> = Vec::with_capacity(pending.len());
+        let mut retried = 0usize;
+        let mut stale = 0usize;
+        let mut deadline_expired = false;
+        {
+            let _cspan = telemetry.span("collect");
+            let drx = DeadlineReceiver::new(&reply_rx, clock.as_ref());
+            while !pending.is_empty() {
+                let deadline = policy.deadline.map(|d| round_start + d + extension);
+                match drx.step(deadline) {
+                    Step::Msg(ClientReply::Update(msg)) => {
+                        // Tag check: a straggler's stale round-r update can
+                        // arrive during round r+1 once deadlines exist.
+                        if msg.round != r || !pending.remove(&msg.update.client_id) {
+                            stale += 1;
+                            continue;
+                        }
+                        updates.push(msg);
+                    }
+                    Step::Msg(ClientReply::Dropped { client, round })
+                    | Step::Msg(ClientReply::Delayed { client, round }) => {
+                        if round == r && pending.remove(&client) {
+                            dropped += 1;
+                        }
+                    }
+                    Step::Msg(ClientReply::Transient { client, round, cause }) => {
+                        if round != r || !pending.contains(&client) {
+                            continue;
+                        }
+                        let used = retries.entry(client).or_insert(0);
+                        let handle = index.get(&client).map(|&i| &mut handles[i]);
+                        if *used < policy.retry.max_retries {
+                            *used += 1;
+                            retried += 1;
+                            extension += policy.retry.backoff;
+                            let resent = handle.map(|h| {
+                                h.tx.send(ServerMsg::StartRound {
+                                    round: r,
+                                    global: global.clone(),
+                                })
+                            });
+                            if !matches!(resent, Some(Ok(()))) {
+                                pending.remove(&client);
+                                dropped += 1;
+                                first_failure.get_or_insert((client, cause));
+                            }
+                        } else {
+                            pending.remove(&client);
+                            dropped += 1;
+                            first_failure
+                                .get_or_insert((client, format!("retries exhausted: {cause}")));
+                        }
+                    }
+                    Step::Msg(ClientReply::Fatal { client, round, cause }) => {
+                        if let Some(&i) = index.get(&client) {
+                            handles[i].departed = true;
+                        }
+                        if round == r && pending.remove(&client) {
+                            dropped += 1;
+                            first_failure.get_or_insert((client, cause));
+                        }
+                    }
+                    Step::Tick => {
+                        // Liveness: a pending client whose thread has exited
+                        // will never report — the silent-death path that
+                        // used to hang the server forever.
+                        let dead: Vec<usize> = pending
+                            .iter()
+                            .copied()
+                            .filter(|id| {
+                                index
+                                    .get(id)
+                                    .is_some_and(|&i| handles[i].join.is_finished())
+                            })
+                            .collect();
+                        for id in dead {
+                            pending.remove(&id);
+                            dropped += 1;
+                            if let Some(&i) = index.get(&id) {
+                                handles[i].departed = true;
+                            }
+                            first_failure
+                                .get_or_insert((id, "client thread died mid-round".into()));
+                        }
+                    }
+                    Step::Expired => {
+                        deadline_expired = true;
+                        dropped += pending.len();
+                        if let Some(&id) = pending.iter().next() {
+                            first_failure
+                                .get_or_insert((id, "missed the round deadline".into()));
+                        }
+                        pending.clear();
+                    }
+                    Step::Disconnected => {
+                        dropped += pending.len();
+                        if let Some(&id) = pending.iter().next() {
+                            first_failure
+                                .get_or_insert((id, "all client threads disconnected".into()));
+                        }
+                        pending.clear();
                     }
                 }
             }
-            Ok(client)
-        });
-        handles.push(ClientHandle { tx, join });
-    }
-    drop(update_tx);
+        }
 
-    let num_clients = handles.len();
-    let mut reports = Vec::with_capacity(rounds);
-    let mut error: Option<FlError> = None;
-    'rounds: for r in 1..=rounds {
-        let global = server.global_params().clone();
-        for handle in &handles {
-            if handle
-                .tx
-                .send(ServerMsg::StartRound {
-                    round: r,
-                    global: global.clone(),
-                })
-                .is_err()
-            {
-                error = Some(FlError::InvalidConfig {
-                    reason: "a client thread exited prematurely".into(),
-                });
-                break 'rounds;
-            }
+        record_round_telemetry(&telemetry, updates.len(), dropped, retried, stale);
+        if updates.len() < required {
+            let (client, cause) = first_failure
+                .unwrap_or((0, "no client failure observed".into()));
+            error = Some(FlError::ClientFailure {
+                client,
+                round: rounds_before + r,
+                cause: format!(
+                    "round collected {} of {} updates, below quorum {required}: {cause}",
+                    updates.len(),
+                    num_clients
+                ),
+            });
+            break 'rounds;
         }
-        let mut updates: Vec<ClientMsg> = Vec::with_capacity(num_clients);
-        for _ in 0..num_clients {
-            match update_rx.recv() {
-                Ok(msg) => updates.push(msg),
-                Err(_) => {
-                    error = Some(FlError::InvalidConfig {
-                        reason: "a client thread died mid-round".into(),
-                    });
-                    break 'rounds;
-                }
-            }
-        }
-        // Deterministic aggregation order regardless of arrival order.
+
+        // Deterministic aggregation order regardless of arrival order; the
+        // loss/time folds also run in sorted order so their floating-point
+        // sums replay bit-identically.
         updates.sort_by_key(|m| m.update.client_id);
+        let participants = updates.len();
         let loss_sum: f64 = updates.iter().map(|m| m.train_loss as f64).sum();
         let train_s_sum: f64 = updates.iter().map(|m| m.train_s).sum();
+        let peak_mem = updates.iter().map(|m| m.peak_mem_bytes).max().unwrap_or(0);
         let round_updates: Vec<ClientUpdate> =
             updates.into_iter().map(|m| m.update).collect();
         let t0 = clock.elapsed();
-        if let Err(e) = server.aggregate(&round_updates) {
+        let agg_result = {
+            let _aspan = telemetry.span("aggregate");
+            server.aggregate(&round_updates)
+        };
+        if let Err(e) = agg_result {
             error = Some(e);
             break 'rounds;
         }
+        drop(round_span);
         reports.push(RoundReport {
             round: rounds_before + r,
-            mean_train_loss: (loss_sum / num_clients.max(1) as f64) as f32,
+            mean_train_loss: (loss_sum / participants.max(1) as f64) as f32,
             cost: CostSample {
-                client_train_s: train_s_sum / num_clients.max(1) as f64,
+                client_train_s: train_s_sum / participants.max(1) as f64,
                 server_agg_s: clock.elapsed().saturating_sub(t0).as_secs_f64(),
-                // Memory accounting is process-global and would attribute
-                // concurrent clients to each other; the sequential engine is
-                // the cost-measurement mode.
-                client_peak_mem_bytes: 0,
+                // Max over the participants' per-thread ledgers — each
+                // client thread measures its own MemoryScope, so concurrent
+                // clients never attribute each other's allocations.
+                client_peak_mem_bytes: peak_mem,
             },
+        });
+        fault_stats.push(RoundFaultStats {
+            round: rounds_before + r,
+            participants,
+            clients_dropped: dropped,
+            clients_retried: retried,
+            stale_discarded: stale,
+            deadline_expired,
         });
     }
 
     // Tear down the client threads and reassemble the system.
     for handle in &handles {
-        let _ = handle.tx.send(ServerMsg::Shutdown);
+        if !handle.departed {
+            let _ = handle.tx.send(ServerMsg::Shutdown);
+        }
     }
+    let attempted_rounds = rounds_before + reports.len() + usize::from(error.is_some());
     let mut clients = Vec::with_capacity(num_clients);
     for handle in handles {
+        let id = handle.id;
         match handle.join.join() {
             Ok(Ok(client)) => clients.push(client),
             Ok(Err(e)) => error = error.or(Some(e)),
             Err(_) => {
-                error = error.or(Some(FlError::InvalidConfig {
-                    reason: "a client thread panicked".into(),
+                error = error.or(Some(FlError::ClientFailure {
+                    client: id,
+                    round: attempted_rounds,
+                    cause: "client thread panicked".into(),
                 }));
             }
         }
@@ -201,7 +466,140 @@ pub fn run_threaded_with_clock(
     }
     clients.sort_by_key(FlClient::id);
     let completed = rounds_before + reports.len();
-    Ok((FlSystem::from_parts(server, clients, completed), reports))
+    let mut system = FlSystem::from_parts(server, clients, completed);
+    if telemetry.is_enabled() {
+        system.set_telemetry(telemetry);
+    }
+    Ok(ResilientRun {
+        system,
+        reports,
+        fault_stats,
+    })
+}
+
+/// Spawns one client thread: a command loop that serves rounds, consults
+/// the fault plan at each [`ServerMsg::StartRound`], and reports through
+/// [`ClientReply`]s. A [`FaultKind::Crash`] exits the thread silently —
+/// the server detects the death through its liveness check, exactly as it
+/// would a real panic.
+fn spawn_client(
+    mut client: FlClient,
+    replies: Sender<ClientReply>,
+    clock: Arc<dyn Clock>,
+    plan: Arc<FaultPlan>,
+) -> ClientHandle {
+    let id = client.id();
+    let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = channel();
+    let join = thread::spawn(move || -> Result<FlClient> {
+        // A Delay fault holds the finished round here until the next
+        // StartRound flushes it — by then it is stale and the server's tag
+        // check discards it, like a real straggler's late upload.
+        let mut held: Option<ClientMsg> = None;
+        // Transient-fault bookkeeping: attempts already failed this round.
+        let mut failed_round = 0usize;
+        let mut failed_attempts = 0u32;
+        while let Some(msg) = recv_blocking(&rx) {
+            match msg {
+                ServerMsg::Shutdown => break,
+                ServerMsg::StartRound { round, global } => {
+                    if let Some(stale) = held.take() {
+                        let _ = replies.send(ClientReply::Update(stale));
+                    }
+                    let fault = plan.action(id, round);
+                    match fault {
+                        Some(FaultKind::Crash) => return Ok(client),
+                        Some(FaultKind::Stall) => continue,
+                        Some(FaultKind::Transient { failures }) => {
+                            if failed_round != round {
+                                failed_round = round;
+                                failed_attempts = 0;
+                            }
+                            if failed_attempts < failures {
+                                failed_attempts += 1;
+                                let _ = replies.send(ClientReply::Transient {
+                                    client: id,
+                                    round,
+                                    cause: format!(
+                                        "injected transient fault (attempt {failed_attempts})"
+                                    ),
+                                });
+                                continue;
+                            }
+                            // Recovered: fall through and train normally.
+                        }
+                        _ => {}
+                    }
+                    let scope = MemoryScope::enter();
+                    let t0 = clock.elapsed();
+                    let _round_span = client.round_span(&format!("round[{round}]"));
+                    match client.run_protocol(&global) {
+                        Err(e) => {
+                            // The reply carries the diagnosis; the thread
+                            // exits like a crashed process, returning its
+                            // state for post-mortem reassembly.
+                            let _ = replies.send(ClientReply::Fatal {
+                                client: id,
+                                round,
+                                cause: e.to_string(),
+                            });
+                            return Ok(client);
+                        }
+                        Ok((train_loss, update)) => {
+                            let msg = ClientMsg {
+                                round,
+                                update,
+                                train_loss,
+                                train_s: clock
+                                    .elapsed()
+                                    .saturating_sub(t0)
+                                    .as_secs_f64(),
+                                peak_mem_bytes: scope.peak_extra_bytes(),
+                            };
+                            // The server may already have given up on this
+                            // round (or shut down); a closed channel just
+                            // ends us.
+                            let reply = match fault {
+                                Some(FaultKind::DropUpdate) => {
+                                    ClientReply::Dropped { client: id, round }
+                                }
+                                Some(FaultKind::Delay) => {
+                                    held = Some(msg);
+                                    ClientReply::Delayed { client: id, round }
+                                }
+                                _ => ClientReply::Update(msg),
+                            };
+                            let _ = replies.send(reply);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(client)
+    });
+    ClientHandle {
+        id,
+        tx,
+        join,
+        departed: false,
+    }
+}
+
+/// Per-round transport metrics (deterministic counters; see DESIGN.md §10).
+fn record_round_telemetry(
+    telemetry: &Telemetry,
+    participants: usize,
+    dropped: usize,
+    retried: usize,
+    stale: usize,
+) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.counter_add("fl.transport.rounds", 1);
+    telemetry.counter_add("fl.transport.updates", participants as u64);
+    telemetry.counter_add("fl.transport.clients_dropped", dropped as u64);
+    telemetry.counter_add("fl.transport.clients_retried", retried as u64);
+    telemetry.counter_add("fl.transport.stale_updates", stale as u64);
 }
 
 #[cfg(test)]
@@ -296,5 +694,61 @@ mod tests {
         let (mut system, _) = run_threaded(build_system(), 2).unwrap();
         let report = system.run_round().unwrap();
         assert_eq!(report.round, 3);
+    }
+
+    #[test]
+    fn threaded_reports_real_per_client_peak_memory() {
+        let (_, reports) = run_threaded(build_system(), 1).unwrap();
+        // Training allocates activation and gradient tensors; the per-thread
+        // ledger must observe them (the old transport hard-coded 0 here).
+        assert!(
+            reports[0].cost.client_peak_mem_bytes > 0,
+            "per-client peak memory not measured"
+        );
+    }
+
+    #[test]
+    fn healthy_resilient_run_reports_no_faults() {
+        let run = run_threaded_resilient(
+            build_system(),
+            2,
+            Arc::new(WallClock::new()),
+            RoundPolicy::strict(),
+        )
+        .unwrap();
+        assert_eq!(run.fault_stats.len(), 2);
+        for s in &run.fault_stats {
+            assert_eq!(s.participants, 3);
+            assert_eq!(s.clients_dropped, 0);
+            assert_eq!(s.clients_retried, 0);
+            assert_eq!(s.stale_discarded, 0);
+            assert!(!s.deadline_expired);
+        }
+    }
+
+    #[test]
+    fn unmeetable_quorum_is_rejected_upfront() {
+        let policy = RoundPolicy::with_quorum(crate::fault::Quorum::AtLeast(7), None);
+        let err = run_threaded_resilient(
+            build_system(),
+            1,
+            Arc::new(WallClock::new()),
+            policy,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlError::InvalidConfig { .. }), "{err}");
+    }
+
+    #[test]
+    fn stall_plan_without_deadline_is_rejected_upfront() {
+        let policy = RoundPolicy::strict().with_faults(FaultPlan::new().stall(0, 1));
+        let err = run_threaded_resilient(
+            build_system(),
+            1,
+            Arc::new(WallClock::new()),
+            policy,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlError::InvalidConfig { .. }), "{err}");
     }
 }

@@ -3,7 +3,7 @@
 //! An in-repo, token-level static-analysis pass for the DINAR workspace.
 //! The reproduction's claims (attack AUC, per-layer sensitivity, figure
 //! regeneration) depend on determinism and error-handling discipline that
-//! generic tooling cannot check, so this crate enforces seven repo-specific
+//! generic tooling cannot check, so this crate enforces eight repo-specific
 //! invariants:
 //!
 //! | rule | invariant |
@@ -15,6 +15,7 @@
 //! | L005 | every manifest declares only in-repo dependencies (hermetic builds) |
 //! | L006 | no raw `thread::spawn`/`thread::scope` outside the worker pool (`dinar_tensor::par`) and the threaded transport |
 //! | L007 | no ambient `Instant::now()` outside the sanctioned clock modules (`clock.rs`, `timing.rs`, `dinar-telemetry`) |
+//! | L008 | no bare mpsc `recv()`/`recv_timeout()` in `dinar-fl` outside the sanctioned deadline helper (`crates/fl/src/deadline.rs`) |
 //!
 //! Pre-existing violations live in a committed [`baseline::BASELINE_FILE`]
 //! and only *rising* counts fail (the ratchet), so the debt shrinks
@@ -153,7 +154,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
     let dirs = crate_dirs(root)?;
     let mut findings = Vec::new();
 
-    // Per-file rules (L001/L002/L004/L006/L007) over crates/*/src and tests/.
+    // Per-file rules (L001/L002/L004/L006/L007/L008) over crates/*/src and tests/.
     let mut files = Vec::new();
     for dir in &dirs {
         rs_files_under(&dir.join("src"), &mut files)?;

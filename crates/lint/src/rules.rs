@@ -1,4 +1,4 @@
-//! The rule catalog: seven repo-specific invariants (L001–L007).
+//! The rule catalog: eight repo-specific invariants (L001–L008).
 //!
 //! Each rule is a pure function from preprocessed sources (or manifests) to
 //! [`Finding`]s, so the unit tests can drive them with inline fixtures and
@@ -26,6 +26,9 @@ pub enum Rule {
     L006,
     /// No ambient `Instant::now()` outside the sanctioned clock modules.
     L007,
+    /// No bare mpsc `recv()`/`recv_timeout()` in `dinar-fl` outside the
+    /// sanctioned deadline helper.
+    L008,
 }
 
 impl Rule {
@@ -40,6 +43,7 @@ impl Rule {
             Rule::L005 => "L005",
             Rule::L006 => "L006",
             Rule::L007 => "L007",
+            Rule::L008 => "L008",
         }
     }
 
@@ -53,11 +57,12 @@ impl Rule {
             Rule::L005 => "manifests may declare only in-repo dependencies",
             Rule::L006 => "no raw thread spawning outside the worker pool",
             Rule::L007 => "no Instant::now() outside the sanctioned clock modules",
+            Rule::L008 => "no bare mpsc recv in dinar-fl outside the sanctioned deadline helper",
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 7] {
+    pub fn all() -> [Rule; 8] {
         [
             Rule::L001,
             Rule::L002,
@@ -66,6 +71,7 @@ impl Rule {
             Rule::L005,
             Rule::L006,
             Rule::L007,
+            Rule::L008,
         ]
     }
 }
@@ -149,6 +155,13 @@ pub const L006_EXEMPT: [&str; 2] = ["crates/tensor/src/par.rs", "crates/fl/src/t
 /// profiles replay under `ManualClock`.
 const L007_TOKEN: &str = "Instant::now";
 
+/// The one `dinar-fl` module allowed to call mpsc `recv()`/`recv_timeout()`
+/// directly: the deadline helper every other wait must route through. A
+/// bare blocking `recv()` only errors once *every* sender has dropped, so
+/// one dead client thread hangs the server forever — the exact bug L008
+/// exists to keep fixed.
+pub const L008_EXEMPT: &str = "crates/fl/src/deadline.rs";
+
 /// Is `path` one of the sanctioned wall-clock modules exempt from L007?
 /// `clock.rs` files (the `Clock` implementations), `timing.rs` (the bench
 /// measurement loop), and the telemetry crate (which owns the clock
@@ -197,6 +210,7 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
     check_l004(path, &stripped, &mut findings);
     check_l006(path, &stripped, &mut findings);
     check_l007(path, &stripped, &mut findings);
+    check_l008(path, &stripped, &mut findings);
     findings
 }
 
@@ -328,6 +342,36 @@ fn check_l007(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
                 line: n,
                 message: "`Instant::now` outside a sanctioned clock module; inject a \
                           `Clock` (dinar_telemetry) or annotate `lint: allow(L007, reason)`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// L008: bare mpsc receives in `dinar-fl` outside the deadline helper.
+/// `DeadlineReceiver` is the sanctioned wait: it drains pending messages,
+/// budgets against the injectable `Clock`, and surfaces ticks for liveness
+/// checks — a bare `recv()` does none of that and reintroduces the
+/// one-dead-client-hangs-the-round bug. (Matched as plain substrings, like
+/// L001's `.unwrap()`: the leading `.` defeats word-bounding.)
+fn check_l008(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    if !path.starts_with("crates/fl/src/") || path == L008_EXEMPT {
+        return;
+    }
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L008", n) {
+            continue;
+        }
+        let hits = line.matches(".recv()").count() + line.matches(".recv_timeout(").count();
+        for _ in 0..hits {
+            findings.push(Finding {
+                rule: Rule::L008,
+                file: path.to_string(),
+                line: n,
+                message: "bare mpsc recv in dinar-fl; wait through \
+                          dinar_fl::deadline::{DeadlineReceiver, recv_blocking} or \
+                          annotate `lint: allow(L008, reason)`"
                     .to_string(),
             });
         }
@@ -579,6 +623,30 @@ mod tests {
                    #[cfg(test)]\nmod tests { fn t() { let x = Instant::now(); } }\n";
         let findings = check_source("crates/bench/src/harness.rs", src);
         assert!(findings.iter().all(|f| f.rule != Rule::L007), "{findings:?}");
+    }
+
+    #[test]
+    fn l008_flags_bare_recv_in_fl_outside_deadline_helper() {
+        let src = "fn f(rx: &Receiver<u32>) { let m = rx.recv(); \
+                   let t = rx.recv_timeout(d); let ok = rx.try_recv(); }";
+        let hits = check_source("crates/fl/src/transport.rs", src)
+            .iter()
+            .filter(|f| f.rule == Rule::L008)
+            .count();
+        assert_eq!(hits, 2); // try_recv is non-blocking and allowed
+        // The sanctioned helper and other crates are exempt.
+        let helper = check_source(L008_EXEMPT, src);
+        assert!(helper.iter().all(|f| f.rule != Rule::L008));
+        let elsewhere = check_source("crates/consensus/src/gossip.rs", src);
+        assert!(elsewhere.iter().all(|f| f.rule != Rule::L008));
+    }
+
+    #[test]
+    fn l008_skips_tests_and_allows() {
+        let src = "let m = rx.recv(); // lint: allow(L008, shutdown path has no deadline)\n\
+                   #[cfg(test)]\nmod tests { fn t() { let m = rx.recv(); } }\n";
+        let findings = check_source("crates/fl/src/system.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L008), "{findings:?}");
     }
 
     #[test]

@@ -218,6 +218,21 @@ impl Telemetry {
             Some(inner) => inner.registry.export(),
         }
     }
+
+    /// Current value of the counter `name`, or 0 when the counter does not
+    /// exist (or telemetry is disabled). Convenience for tests and reports
+    /// that assert on a single counter without walking
+    /// [`metrics`](Telemetry::metrics).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.metrics()
+            .into_iter()
+            .find(|m| m.name == name)
+            .and_then(|m| match m.data {
+                MetricData::Counter(v) => Some(v),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -247,5 +262,19 @@ mod tests {
         }
         drop(other.span("from-clone"));
         assert_eq!(tel.spans().len(), 1);
+    }
+
+    #[test]
+    fn counter_value_reads_one_counter() {
+        let tel = Telemetry::new();
+        assert_eq!(tel.counter_value("missing"), 0);
+        tel.counter_add("hits", 4);
+        tel.counter_add("hits", 1);
+        assert_eq!(tel.counter_value("hits"), 5);
+        // Non-counter metrics are not misread as counters.
+        tel.gauge_set("level", 9.0);
+        assert_eq!(tel.counter_value("level"), 0);
+        // Disabled telemetry reads zero everywhere.
+        assert_eq!(Telemetry::disabled().counter_value("hits"), 0);
     }
 }

@@ -1,5 +1,5 @@
 //! Workspace lint gate: runs the `dinar-lint` ratchet as part of
-//! `cargo test`, so a new violation of any repo invariant (L001–L007)
+//! `cargo test`, so a new violation of any repo invariant (L001–L008)
 //! fails CI even if nobody ran the CLI.
 
 use std::path::Path;
@@ -23,6 +23,28 @@ fn lint_ratchet_holds() {
             .collect::<Vec<_>>()
             .join("\n"),
         findings.len(),
+    );
+}
+
+#[test]
+fn no_bare_recv_in_fl_at_all() {
+    // L008 rides the same ratchet as the other rules, but unlike the
+    // debt-carrying rules it starts — and must stay — at zero: the
+    // mid-round client-death hang was caused by exactly one bare `recv()`,
+    // and the fix routed every dinar-fl wait through the deadline helper.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (findings, _) = dinar_lint::check_against_baseline(root).expect("lint pass should run");
+    let l008: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == dinar_lint::rules::Rule::L008)
+        .collect();
+    assert!(
+        l008.is_empty(),
+        "bare mpsc recv crept back into dinar-fl:\n{}",
+        l008.iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
