@@ -14,7 +14,7 @@
 use crate::{MembershipAttack, Result};
 use dinar_data::Dataset;
 use dinar_nn::loss::CrossEntropyLoss;
-use dinar_nn::{Model, ModelParams};
+use dinar_nn::{Model, ModelParams, ParamView};
 
 /// Gradient-norm membership attack.
 #[derive(Debug, Clone, Copy, Default)]
@@ -56,31 +56,31 @@ impl MembershipAttack for GradientNormAttack {
             template.zero_grad();
             template.backward(&grad)?;
             let grads = template.layer_gradients();
-            let norm_sq: f64 = match self.layer {
+            let norm = match self.layer {
+                // A single-layer view reduces exactly like the old
+                // per-tensor sum (see `ParamView::norm_and_count`), so
+                // per-layer scores are bit-unchanged.
                 Some(l) => grads
                     .get(l)
-                    .map(|layer| {
-                        layer
-                            .tensors
-                            .iter()
-                            .map(|t| {
-                                let n = t.norm_l2() as f64;
-                                n * n
-                            })
-                            .sum()
-                    })
+                    .map(|layer| ParamView::of_layer(layer).l2_norm())
                     .unwrap_or(0.0),
-                None => grads
-                    .iter()
-                    .flat_map(|layer| &layer.tensors)
-                    .map(|t| {
-                        let n = t.norm_l2() as f64;
-                        n * n
-                    })
-                    .sum(),
+                // The whole-model score deliberately keeps its flat
+                // association (one f64 sum across all tensors), which
+                // differs from the nested per-layer reduction.
+                None => {
+                    let norm_sq: f64 = grads
+                        .iter()
+                        .flat_map(|layer| &layer.tensors)
+                        .map(|t| {
+                            let n = t.norm_l2() as f64;
+                            n * n
+                        })
+                        .sum();
+                    norm_sq.sqrt() as f32
+                }
             };
             // Members have small gradients: negate so higher = member.
-            scores.push(-(norm_sq.sqrt() as f32));
+            scores.push(-norm);
         }
         template.zero_grad();
         Ok(scores)

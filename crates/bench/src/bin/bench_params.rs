@@ -1,0 +1,183 @@
+//! Parameter-plane copy-traffic audit: records
+//! `bench-results/BENCH_params.json`.
+//!
+//! Runs the default FL configuration (Purchase100-mini, 8 clients, the
+//! paper's weak-DP client defense) for a few rounds and, per round, diffs
+//! the tensor buffer-copy counters ([`dinar_tensor::profile::param_snapshot`])
+//! to measure how many tensor buffers were deep-copied, how many bytes those
+//! copies duplicated, and how many clones were satisfied by an O(1) buffer
+//! share instead. A separate microbench times server-side FedAvg aggregation
+//! over the same 8 uploads.
+//!
+//! ```text
+//! cargo run --release -p dinar-bench --bin bench_params
+//! ```
+//!
+//! The committed `bench-results/BENCH_params_baseline.json` holds the
+//! pre-COW numbers (every clone a deep copy); `BENCH_params.json` is the
+//! current state. `tests/param_plane.rs` enforces the ≥ 5× bytes-cloned
+//! reduction between the two.
+
+use dinar_bench::impl_to_json;
+use dinar_bench::report::{table, write_json};
+use dinar_bench::timing::{bench, Config};
+use dinar_data::catalog::{self, Profile};
+use dinar_data::partition::{partition_dataset, Distribution};
+use dinar_data::Dataset;
+use dinar_defenses::WeakDp;
+use dinar_fl::{ClientMiddleware, ClientUpdate, FlConfig, FlServer, FlSystem};
+use dinar_nn::models::{self, Activation};
+use dinar_nn::optim::Sgd;
+use dinar_tensor::{profile, Rng};
+
+const CLIENTS: usize = 8;
+const ROUNDS: usize = 5;
+
+struct RoundRow {
+    round: usize,
+    copy_calls: u64,
+    copy_bytes: u64,
+    share_calls: u64,
+}
+
+impl_to_json!(RoundRow {
+    round,
+    copy_calls,
+    copy_bytes,
+    share_calls,
+});
+
+struct ParamsReport {
+    clients: usize,
+    rounds: usize,
+    model_params: usize,
+    model_bytes: u64,
+    mean_copy_calls_per_round: f64,
+    mean_copy_bytes_per_round: f64,
+    mean_share_calls_per_round: f64,
+    agg_median_ns: f64,
+    agg_min_ns: f64,
+    per_round: Vec<RoundRow>,
+}
+
+impl_to_json!(ParamsReport {
+    clients,
+    rounds,
+    model_params,
+    model_bytes,
+    mean_copy_calls_per_round,
+    mean_copy_bytes_per_round,
+    mean_share_calls_per_round,
+    agg_median_ns,
+    agg_min_ns,
+    per_round,
+});
+
+fn run() -> Result<ParamsReport, Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(41);
+    let data = catalog::purchase100(Profile::Mini).generate(&mut rng)?;
+    let (train, _test) = data.split_fraction(0.8, &mut rng)?;
+    let shards = partition_dataset(&train, CLIENTS, Distribution::Iid, &mut rng)?;
+    let sample_counts: Vec<usize> = shards.iter().map(Dataset::len).collect();
+    let arch = |rng: &mut Rng| models::mlp(&[600, 64, 100], Activation::ReLU, rng);
+    let mut system = FlSystem::builder(FlConfig {
+        local_epochs: 1,
+        batch_size: 64,
+        seed: 7,
+    })
+    .clients_from_shards(shards, arch, |_| Box::new(Sgd::new(0.1)))?
+    .with_client_middleware(|id| {
+        vec![Box::new(WeakDp::paper_default(Rng::seed_from(
+            7 ^ ((id as u64) << 8),
+        ))) as Box<dyn ClientMiddleware>]
+    })
+    .build()?;
+
+    let model_params = system.global_params().param_count();
+    let model_bytes = model_params as u64 * 4;
+
+    let mut per_round = Vec::new();
+    for round in 0..ROUNDS {
+        let before = profile::param_snapshot();
+        system.run_round()?;
+        let d = profile::param_snapshot().delta_since(&before);
+        per_round.push(RoundRow {
+            round,
+            copy_calls: d.copy_calls,
+            copy_bytes: d.copy_bytes,
+            share_calls: d.share_calls,
+        });
+    }
+
+    // Server-side FedAvg microbench: aggregate the final global re-uploaded
+    // by all clients (shapes and weights match a real round exactly).
+    let updates: Vec<ClientUpdate> = (0..CLIENTS)
+        .map(|id| ClientUpdate {
+            client_id: id,
+            params: system.global_params().clone(),
+            num_samples: sample_counts[id],
+        })
+        .collect();
+    let mut server = FlServer::new(system.global_params().clone());
+    let m = bench("fedavg_aggregate_8", &Config::default(), || {
+        server
+            .aggregate(&updates)
+            .map(|p| p.param_count())
+            .unwrap_or(0)
+    });
+
+    let n = per_round.len() as f64;
+    Ok(ParamsReport {
+        clients: CLIENTS,
+        rounds: ROUNDS,
+        model_params,
+        model_bytes,
+        mean_copy_calls_per_round: per_round.iter().map(|r| r.copy_calls as f64).sum::<f64>() / n,
+        mean_copy_bytes_per_round: per_round.iter().map(|r| r.copy_bytes as f64).sum::<f64>() / n,
+        mean_share_calls_per_round: per_round.iter().map(|r| r.share_calls as f64).sum::<f64>()
+            / n,
+        agg_median_ns: m.median_ns(),
+        agg_min_ns: m.min_ns(),
+        per_round,
+    })
+}
+
+fn main() {
+    let report = match run() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("param-plane bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cells: Vec<Vec<String>> = report
+        .per_round
+        .iter()
+        .map(|r| {
+            vec![
+                r.round.to_string(),
+                r.copy_calls.to_string(),
+                format!("{:.2}", r.copy_bytes as f64 / (1024.0 * 1024.0)),
+                r.share_calls.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["round", "copies", "copied_MiB", "shares"], &cells)
+    );
+    println!(
+        "model: {} params ({} bytes); mean copied/round: {:.2} MiB; aggregate: {:.2} µs median",
+        report.model_params,
+        report.model_bytes,
+        report.mean_copy_bytes_per_round / (1024.0 * 1024.0),
+        report.agg_median_ns / 1e3,
+    );
+    match write_json("BENCH_params", &report) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_params.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

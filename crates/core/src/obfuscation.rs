@@ -8,7 +8,7 @@
 
 use crate::{DinarError, Result};
 use dinar_nn::{LayerParams, ModelParams};
-use dinar_tensor::Rng;
+use dinar_tensor::{Rng, Tensor};
 
 /// How the private layer's parameters are replaced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,14 +43,19 @@ pub fn obfuscate_layer(
                 "layer index {p} out of range for model with {num_layers} trainable layers"
             ),
         })?;
-    let original = layer.clone();
+    // O(1) snapshot: `θᵢᵖ*` shares the layer's buffers; every strategy below
+    // replaces the tensors wholesale, so the original is never copied.
+    let original = layer.share();
     for t in &mut layer.tensors {
         match strategy {
             ObfuscationStrategy::Random => {
                 *t = rng.rand_uniform(t.shape(), -0.5, 0.5);
             }
             ObfuscationStrategy::Zeros => {
-                t.map_inplace(|_| 0.0);
+                // A fresh zero buffer, not `map_inplace`: writing through the
+                // shared tensor would trigger a COW copy of data that is
+                // about to be discarded anyway.
+                *t = Tensor::zeros(t.shape());
             }
             ObfuscationStrategy::Gaussian => {
                 *t = rng.randn(t.shape());

@@ -9,9 +9,9 @@
 //! model; individual client uploads remain visible to the server — which is
 //! why CDP protects local models poorly in the paper's Fig. 6.
 
-use crate::dp::{add_gaussian_noise, clip_l2, DpParams};
+use crate::dp::{add_gaussian_noise, DpParams};
 use dinar_fl::{Result, ServerMiddleware};
-use dinar_nn::ModelParams;
+use dinar_nn::{ModelParams, ParamView};
 use dinar_tensor::Rng;
 
 /// CDP server middleware: the Gaussian mechanism on the FedAvg aggregate's
@@ -51,18 +51,24 @@ impl ServerMiddleware for CentralDp {
     fn transform_aggregate(&mut self, params: &mut ModelParams) -> Result<()> {
         if let Some(prev) = &self.previous_global {
             let mut update = params.sub(prev)?;
-            clip_l2(&mut update, self.dp.clip_norm);
-            let d = update.param_count().max(1) as f32;
+            // One-pass norm + count over the view replaces the old
+            // clip_l2 + param_count double traversal (same clip behavior).
+            let (norm, count) = ParamView::of_model(&update).norm_and_count();
+            if norm > self.dp.clip_norm && norm > 0.0 {
+                update.scale(self.dp.clip_norm / norm);
+            }
+            let d = count.max(1) as f32;
             let std_dev = self.dp.noise_multiplier() * self.dp.clip_norm
                 / (self.clients as f32 * d.sqrt());
             add_gaussian_noise(&mut update, std_dev, &mut self.rng);
-            let mut new_global = prev.clone();
-            new_global.add_assign(&update)?;
-            *params = new_global;
+            // Commuted in-place reconstruction (bit-identical to
+            // `prev.clone() + update`).
+            update.add_assign(prev)?;
+            *params = update;
         }
         // First round has no reference; release the aggregate as-is (it is
         // one step from the public initialization).
-        self.previous_global = Some(params.clone());
+        self.previous_global = Some(params.share());
         Ok(())
     }
 

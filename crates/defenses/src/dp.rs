@@ -1,7 +1,7 @@
 //! Shared differential-privacy machinery: the Gaussian mechanism with
 //! L2 clipping.
 
-use dinar_nn::ModelParams;
+use dinar_nn::{ModelParams, ParamView, ParamViewMut};
 use dinar_tensor::Rng;
 
 /// An (ε, δ) budget with an L2 clipping bound.
@@ -50,7 +50,7 @@ impl DpParams {
 /// Clips the parameter set to `clip_norm` in L2 (uniform scaling), returning
 /// the factor applied (1.0 when already within the bound).
 pub fn clip_l2(params: &mut ModelParams, clip_norm: f32) -> f32 {
-    let norm = params.l2_norm();
+    let norm = ParamView::of_model(params).l2_norm();
     if norm > clip_norm && norm > 0.0 {
         let factor = clip_norm / norm;
         params.scale(factor);
@@ -61,19 +61,20 @@ pub fn clip_l2(params: &mut ModelParams, clip_norm: f32) -> f32 {
 }
 
 /// Adds i.i.d. Gaussian noise with standard deviation `std_dev` to every
-/// parameter. Allocates a noise tensor per layer tensor (this allocation is
-/// deliberately visible to the memory accounting, mirroring the noise-buffer
-/// overhead Table 3 attributes to DP methods).
+/// parameter, drawn in place through a [`ParamViewMut`]. The draw order is
+/// the flat canonical order the old per-tensor noise buffers used, so
+/// results are bit-identical — but no noise tensors are materialized, which
+/// removes the per-layer noise-buffer overhead from the DP rows of Table 3
+/// (the clipped-copy overhead remains where the caller makes one).
 pub fn add_gaussian_noise(params: &mut ModelParams, std_dev: f32, rng: &mut Rng) {
     if std_dev <= 0.0 {
         return;
     }
-    for layer in &mut params.layers {
-        for t in &mut layer.tensors {
-            let noise = rng.randn_with(t.shape(), 0.0, std_dev);
-            t.add_assign(&noise).expect("noise tensor matches shape");
+    ParamViewMut::of_model(params).for_each_slice_mut(|s| {
+        for x in s {
+            *x += rng.normal_with(0.0, std_dev);
         }
-    }
+    });
 }
 
 /// The full clip-then-noise Gaussian mechanism.
@@ -81,10 +82,14 @@ pub fn add_gaussian_noise(params: &mut ModelParams, std_dev: f32, rng: &mut Rng)
 /// Noise is scaled per coordinate as `σ · clip / √d` (with `d` the parameter
 /// count), so the *norm* of the added noise is `σ · clip` in expectation —
 /// proportional to the clipping bound and to the noise multiplier, as in the
-/// client-level DP literature.
+/// client-level DP literature. Norm and parameter count come from one pass
+/// over a [`ParamView`] instead of two traversals.
 pub fn gaussian_mechanism(params: &mut ModelParams, dp: &DpParams, rng: &mut Rng) {
-    clip_l2(params, dp.clip_norm);
-    let d = params.param_count().max(1) as f32;
+    let (norm, count) = ParamView::of_model(params).norm_and_count();
+    if norm > dp.clip_norm && norm > 0.0 {
+        params.scale(dp.clip_norm / norm);
+    }
+    let d = count.max(1) as f32;
     let std_dev = dp.noise_multiplier() * dp.clip_norm / d.sqrt();
     add_gaussian_noise(params, std_dev, rng);
 }

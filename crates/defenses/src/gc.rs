@@ -12,6 +12,42 @@
 use dinar_fl::{ClientMiddleware, FlError, Result};
 use dinar_nn::ModelParams;
 
+/// Exact k-th largest magnitude over the update, found by binary search on
+/// IEEE-754 bit patterns: for the non-negative floats `|x|` produces,
+/// `total_cmp` order coincides with `u32` bit order, so the k-th largest
+/// magnitude is the largest `bits` value with at least `k` elements at or
+/// above it. ~31 counting passes, no flat copy, no sort, O(1) extra memory
+/// (the old path materialized and sorted the full flat update).
+///
+/// `k` must be in `1..=param_count`.
+fn kth_largest_magnitude(update: &ModelParams, k: usize) -> f32 {
+    let count_at_least = |bits: u32| -> usize {
+        let mut n = 0;
+        for layer in &update.layers {
+            for t in &layer.tensors {
+                for x in t.as_slice() {
+                    if x.abs().to_bits() >= bits {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    };
+    // `|x|` has a clear sign bit, so patterns live in 0..=0x7FFF_FFFF (NaN
+    // payloads included, above infinity — exactly where total_cmp puts them).
+    let (mut lo, mut hi) = (0u32, 0x7FFF_FFFFu32);
+    while lo < hi {
+        let mid = lo + (hi - lo + 1) / 2;
+        if count_at_least(mid) >= k {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    f32::from_bits(lo)
+}
+
 /// Top-k update sparsification middleware.
 #[derive(Debug)]
 pub struct GradientCompression {
@@ -61,7 +97,7 @@ impl GradientCompression {
 
 impl ClientMiddleware for GradientCompression {
     fn transform_download(&mut self, _client_id: usize, params: &mut ModelParams) -> Result<()> {
-        self.received_global = Some(params.clone());
+        self.received_global = Some(params.share());
         Ok(())
     }
 
@@ -78,35 +114,61 @@ impl ClientMiddleware for GradientCompression {
         if let Some(residual) = &self.residual {
             update.add_assign(residual)?;
         }
-        // Global top-k threshold over |update|.
-        let mut magnitudes: Vec<f32> = update.to_flat().iter().map(|x| x.abs()).collect();
-        let keep = ((magnitudes.len() as f32 * self.keep_ratio).ceil() as usize)
-            .clamp(1, magnitudes.len());
-        magnitudes.sort_by(f32::total_cmp);
-        let threshold = magnitudes[magnitudes.len() - keep];
-        // Split update into kept (uploaded) and residual (stored locally).
-        let mut kept = update.clone();
-        let mut residual = update;
-        for (kl, rl) in kept.layers.iter_mut().zip(&mut residual.layers) {
-            for (kt, rt) in kl.tensors.iter_mut().zip(&mut rl.tensors) {
-                for (k, r) in kt.as_mut_slice().iter_mut().zip(rt.as_mut_slice()) {
-                    if k.abs() >= threshold {
-                        *r = 0.0; // uploaded, nothing left behind
-                    } else {
-                        *k = 0.0; // suppressed, kept as residual
+        // Global top-k threshold over |update|, no flat copy or sort.
+        let total = update.param_count();
+        let keep = ((total as f32 * self.keep_ratio).ceil() as usize).clamp(1, total);
+        let threshold = kth_largest_magnitude(&update, keep);
+        // One fused pass turns `update` into the upload in place: a kept
+        // entry uploads `global + u`; a suppressed one uploads `global + 0.0`
+        // (same arithmetic as the old `global.clone() + sparse update`) and
+        // moves `u` into the residual.
+        if self.error_feedback {
+            // Reuse last round's residual buffer when present — every entry
+            // is overwritten below.
+            let mut residual = match self.residual.take() {
+                Some(r) => r,
+                None => update.zeros_like(),
+            };
+            for (ul, (gl, rl)) in update
+                .layers
+                .iter_mut()
+                .zip(global.layers.iter().zip(&mut residual.layers))
+            {
+                for (ut, (gt, rt)) in ul
+                    .tensors
+                    .iter_mut()
+                    .zip(gl.tensors.iter().zip(&mut rl.tensors))
+                {
+                    let gs = gt.as_slice();
+                    let rs = rt.as_mut_slice();
+                    for (i, u) in ut.as_mut_slice().iter_mut().enumerate() {
+                        if u.abs() >= threshold {
+                            rs[i] = 0.0; // uploaded, nothing left behind
+                            *u += gs[i];
+                        } else {
+                            rs[i] = *u; // suppressed, kept as residual
+                            *u = gs[i] + 0.0;
+                        }
                     }
                 }
             }
-        }
-        self.residual = if self.error_feedback {
-            Some(residual)
+            self.residual = Some(residual);
         } else {
-            None
-        };
-        // Upload = received global + sparse update.
-        let mut upload = global.clone();
-        upload.add_assign(&kept)?;
-        *params = upload;
+            for (ul, gl) in update.layers.iter_mut().zip(&global.layers) {
+                for (ut, gt) in ul.tensors.iter_mut().zip(&gl.tensors) {
+                    let gs = gt.as_slice();
+                    for (i, u) in ut.as_mut_slice().iter_mut().enumerate() {
+                        if u.abs() >= threshold {
+                            *u += gs[i];
+                        } else {
+                            *u = gs[i] + 0.0; // suppressed entry is discarded
+                        }
+                    }
+                }
+            }
+            self.residual = None;
+        }
+        *params = update;
         Ok(())
     }
 

@@ -39,7 +39,7 @@ impl LocalDp {
 
 impl ClientMiddleware for LocalDp {
     fn transform_download(&mut self, _client_id: usize, params: &mut ModelParams) -> Result<()> {
-        self.received_global = Some(params.clone());
+        self.received_global = Some(params.share());
         Ok(())
     }
 
@@ -53,9 +53,11 @@ impl ClientMiddleware for LocalDp {
             })?;
         let mut update = params.sub(global)?;
         gaussian_mechanism(&mut update, &self.dp, &mut self.rng);
-        let mut upload = global.clone();
-        upload.add_assign(&update)?;
-        *params = upload;
+        // `update + global` adds the same pairs as the old
+        // `global.clone() + update` (f32 addition commutes bitwise), without
+        // materializing an upload copy.
+        update.add_assign(global)?;
+        *params = update;
         Ok(())
     }
 

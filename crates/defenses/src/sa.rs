@@ -14,7 +14,7 @@
 //! `Σ w_i (θ_i + m_i / w_i) = Σ w_i θ_i + Σ m_i = FedAvg` since `Σ m_i = 0`.
 
 use dinar_fl::{ClientMiddleware, FlError, Result};
-use dinar_nn::ModelParams;
+use dinar_nn::{ModelParams, ParamViewMut};
 use dinar_tensor::Rng;
 use std::sync::Arc;
 
@@ -80,19 +80,21 @@ impl SaGroup {
     /// shaped like `params`, already divided by the client's FedAvg weight.
     fn mask_for(&self, client: usize, params: &ModelParams) -> ModelParams {
         let mut mask = params.zeros_like();
+        let mut view = ParamViewMut::of_model(&mut mask);
         for peer in 0..self.num_clients {
             if peer == client {
                 continue;
             }
             let mut rng = self.pair_rng(client, peer);
             let sign = if client < peer { 1.0 } else { -1.0 };
-            for layer in &mut mask.layers {
-                for t in &mut layer.tensors {
-                    let noise = rng.randn_with(t.shape(), 0.0, self.mask_std);
-                    t.scaled_add_assign(sign, &noise)
-                        .expect("mask tensor matches shape");
+            // Draw each peer's PRG stream directly into the mask buffer, in
+            // the flat canonical order the old per-tensor noise buffers used
+            // (bit-identical, no per-layer noise allocations).
+            view.for_each_slice_mut(|s| {
+                for x in s {
+                    *x += sign * rng.normal_with(0.0, self.mask_std);
                 }
-            }
+            });
         }
         let w = self.weights[client];
         mask.scale(1.0 / w);

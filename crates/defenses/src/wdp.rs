@@ -42,7 +42,7 @@ impl WeakDp {
 
 impl ClientMiddleware for WeakDp {
     fn transform_download(&mut self, _client_id: usize, params: &mut ModelParams) -> Result<()> {
-        self.received_global = Some(params.clone());
+        self.received_global = Some(params.share());
         Ok(())
     }
 
@@ -57,9 +57,10 @@ impl ClientMiddleware for WeakDp {
         let mut update = params.sub(global)?;
         clip_l2(&mut update, self.norm_bound);
         add_gaussian_noise(&mut update, self.sigma, &mut self.rng);
-        let mut upload = global.clone();
-        upload.add_assign(&update)?;
-        *params = upload;
+        // Commuted in-place reconstruction; bit-identical to the old
+        // `global.clone() + update` without the upload copy.
+        update.add_assign(global)?;
+        *params = update;
         Ok(())
     }
 

@@ -84,7 +84,7 @@ impl FlClient {
     /// `mw[name]` span per middleware transform, and the model's per-layer
     /// spans nested beneath them.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        self.model.set_telemetry(telemetry.clone());
+        self.model.set_telemetry(telemetry.clone()); // lint: allow(L009, telemetry handle, not params)
         self.telemetry = telemetry;
     }
 
@@ -146,7 +146,7 @@ impl FlClient {
     /// Propagates middleware and shape errors.
     pub fn receive_global(&mut self, global: &ModelParams) -> Result<()> {
         let _span = self.telemetry.span("download");
-        let mut install = global.clone();
+        let mut install = global.share();
         for mw in &mut self.middleware {
             let _mw_span = if self.telemetry.is_enabled() {
                 Some(self.telemetry.span(&format!("mw[{}]", mw.name())))

@@ -12,6 +12,11 @@ use dinar_nn::ModelParams;
 #[derive(Debug)]
 pub struct FlServer {
     global: ModelParams,
+    /// Last round's superseded global model, recycled as the accumulation
+    /// buffer of the next [`FlServer::aggregate`] call so steady-state
+    /// aggregation allocates nothing: peak memory stays O(model), never
+    /// O(clients × model).
+    scratch: Option<ModelParams>,
     middleware: Vec<Box<dyn ServerMiddleware>>,
     rounds_completed: usize,
 }
@@ -21,6 +26,7 @@ impl FlServer {
     pub fn new(initial: ModelParams) -> Self {
         FlServer {
             global: initial,
+            scratch: None,
             middleware: Vec::new(),
             rounds_completed: 0,
         }
@@ -64,7 +70,15 @@ impl FlServer {
                 reason: "all client updates report zero samples".into(),
             });
         }
-        let mut aggregate = updates[0].params.zeros_like();
+        // Accumulate into last round's recycled global when its architecture
+        // still matches; zero-filling never copies the superseded data.
+        let mut aggregate = match self.scratch.take() {
+            Some(mut s) if s.same_shape(&updates[0].params) => {
+                s.zero_fill();
+                s
+            }
+            _ => updates[0].params.zeros_like(),
+        };
         for update in updates {
             let weight = update.num_samples as f32 / total as f32;
             aggregate.scaled_add_assign(weight, &update.params)?;
@@ -72,7 +86,7 @@ impl FlServer {
         for mw in &mut self.middleware {
             mw.transform_aggregate(&mut aggregate)?;
         }
-        self.global = aggregate;
+        self.scratch = Some(std::mem::replace(&mut self.global, aggregate));
         self.rounds_completed += 1;
         Ok(&self.global)
     }

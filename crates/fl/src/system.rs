@@ -140,7 +140,7 @@ impl FlSystem {
     /// tensor kernel counters; see `dinar-telemetry` for the export side.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         for client in &mut self.clients {
-            client.set_telemetry(telemetry.clone());
+            client.set_telemetry(telemetry.clone()); // lint: allow(L009, telemetry handle, not params)
         }
         self.telemetry = telemetry;
     }
@@ -161,7 +161,7 @@ impl FlSystem {
         let kernels_before = profile::snapshot();
         let round_span = self.telemetry.span(&format!("round[{}]", self.rounds_run + 1));
         let span_parent = round_span.path().to_string();
-        let global = self.server.global_params().clone();
+        let global = self.server.global_params().share();
         let mut refs: Vec<&mut FlClient> = self.clients.iter_mut().collect();
         let results = train_fan_out(&mut refs, &global, &span_parent);
         drop(refs);
@@ -258,7 +258,7 @@ impl FlSystem {
         let kernels_before = profile::snapshot();
         let round_span = self.telemetry.span(&format!("round[{}]", self.rounds_run + 1));
         let span_parent = round_span.path().to_string();
-        let global = self.server.global_params().clone();
+        let global = self.server.global_params().share();
         // Collect &mut references to the selected clients (indices are
         // sorted, so a single forward sweep suffices).
         let mut refs: Vec<&mut FlClient> = Vec::with_capacity(participants);
@@ -310,7 +310,7 @@ impl FlSystem {
     ///
     /// Propagates middleware errors.
     pub fn sync_clients(&mut self) -> Result<()> {
-        let global = self.server.global_params().clone();
+        let global = self.server.global_params().share();
         let mut refs: Vec<&mut FlClient> = self.clients.iter_mut().collect();
         let results = par::map_items_mut(&mut refs, |_, client| client.receive_global(&global));
         results.into_iter().collect()

@@ -3,7 +3,7 @@
 //! An in-repo, token-level static-analysis pass for the DINAR workspace.
 //! The reproduction's claims (attack AUC, per-layer sensitivity, figure
 //! regeneration) depend on determinism and error-handling discipline that
-//! generic tooling cannot check, so this crate enforces eight repo-specific
+//! generic tooling cannot check, so this crate enforces nine repo-specific
 //! invariants:
 //!
 //! | rule | invariant |
@@ -16,6 +16,7 @@
 //! | L006 | no raw `thread::spawn`/`thread::scope` outside the worker pool (`dinar_tensor::par`) and the threaded transport |
 //! | L007 | no ambient `Instant::now()` outside the sanctioned clock modules (`clock.rs`, `timing.rs`, `dinar-telemetry`) |
 //! | L008 | no bare mpsc `recv()`/`recv_timeout()` in `dinar-fl` outside the sanctioned deadline helper (`crates/fl/src/deadline.rs`) |
+//! | L009 | no `.clone()` in the parameter-plane modules — snapshot params with the O(1) `share()` (sanctioned copy sites: `crates/fl/src/transport.rs`, `crates/nn/src/params.rs`) |
 //!
 //! Pre-existing violations live in a committed [`baseline::BASELINE_FILE`]
 //! and only *rising* counts fail (the ratchet), so the debt shrinks

@@ -1,4 +1,4 @@
-//! The rule catalog: eight repo-specific invariants (L001–L008).
+//! The rule catalog: nine repo-specific invariants (L001–L009).
 //!
 //! Each rule is a pure function from preprocessed sources (or manifests) to
 //! [`Finding`]s, so the unit tests can drive them with inline fixtures and
@@ -29,6 +29,9 @@ pub enum Rule {
     /// No bare mpsc `recv()`/`recv_timeout()` in `dinar-fl` outside the
     /// sanctioned deadline helper.
     L008,
+    /// No `.clone()` in the parameter-plane modules: snapshot parameters
+    /// with `share()` (an explicit O(1) copy-on-write share) instead.
+    L009,
 }
 
 impl Rule {
@@ -44,6 +47,7 @@ impl Rule {
             Rule::L006 => "L006",
             Rule::L007 => "L007",
             Rule::L008 => "L008",
+            Rule::L009 => "L009",
         }
     }
 
@@ -58,11 +62,12 @@ impl Rule {
             Rule::L006 => "no raw thread spawning outside the worker pool",
             Rule::L007 => "no Instant::now() outside the sanctioned clock modules",
             Rule::L008 => "no bare mpsc recv in dinar-fl outside the sanctioned deadline helper",
+            Rule::L009 => "no .clone() in parameter-plane modules; snapshot params with share()",
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 8] {
+    pub fn all() -> [Rule; 9] {
         [
             Rule::L001,
             Rule::L002,
@@ -72,6 +77,7 @@ impl Rule {
             Rule::L006,
             Rule::L007,
             Rule::L008,
+            Rule::L009,
         ]
     }
 }
@@ -162,6 +168,29 @@ const L007_TOKEN: &str = "Instant::now";
 /// exists to keep fixed.
 pub const L008_EXEMPT: &str = "crates/fl/src/deadline.rs";
 
+/// Parameter-plane modules subject to L009. These files move whole model
+/// parameter sets around every round, so an unexamined `.clone()` is a full
+/// deep copy waiting to regress the zero-copy plane: snapshots must be the
+/// explicit O(1) `ModelParams::share()`/`LayerParams::share()` spelling (or
+/// carry an `// lint: allow(L009, reason)` for non-parameter clones such as
+/// telemetry handles). The sanctioned copy sites live elsewhere:
+/// `crates/fl/src/transport.rs` (per-client message snapshots) and
+/// `crates/nn/src/params.rs` (which defines `share()` itself).
+pub const L009_FILES: [&str; 12] = [
+    "crates/defenses/src/dp.rs",
+    "crates/defenses/src/ldp.rs",
+    "crates/defenses/src/wdp.rs",
+    "crates/defenses/src/cdp.rs",
+    "crates/defenses/src/gc.rs",
+    "crates/defenses/src/sa.rs",
+    "crates/core/src/obfuscation.rs",
+    "crates/nn/src/view.rs",
+    "crates/fl/src/server.rs",
+    "crates/fl/src/client.rs",
+    "crates/fl/src/system.rs",
+    "crates/fl/src/middleware.rs",
+];
+
 /// Is `path` one of the sanctioned wall-clock modules exempt from L007?
 /// `clock.rs` files (the `Clock` implementations), `timing.rs` (the bench
 /// measurement loop), and the telemetry crate (which owns the clock
@@ -211,6 +240,7 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
     check_l006(path, &stripped, &mut findings);
     check_l007(path, &stripped, &mut findings);
     check_l008(path, &stripped, &mut findings);
+    check_l009(path, &stripped, &mut findings);
     findings
 }
 
@@ -372,6 +402,35 @@ fn check_l008(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
                 message: "bare mpsc recv in dinar-fl; wait through \
                           dinar_fl::deadline::{DeadlineReceiver, recv_blocking} or \
                           annotate `lint: allow(L008, reason)`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// L009: `.clone()` in a parameter-plane module (see [`L009_FILES`]).
+/// Matched as a plain substring like L001's `.unwrap()`: the leading `.`
+/// defeats word-bounding. `Arc::clone(&x)` and `clone_from` are not matched
+/// — the rule targets the method-call spelling that silently deep-copies a
+/// parameter set.
+fn check_l009(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    if !L009_FILES.contains(&path) {
+        return;
+    }
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L009", n) {
+            continue;
+        }
+        let hits = line.matches(".clone()").count();
+        for _ in 0..hits {
+            findings.push(Finding {
+                rule: Rule::L009,
+                file: path.to_string(),
+                line: n,
+                message: "`.clone()` in a parameter-plane module; snapshot params with \
+                          `share()` (O(1) copy-on-write) or annotate \
+                          `lint: allow(L009, reason)` for non-parameter clones"
                     .to_string(),
             });
         }
@@ -647,6 +706,36 @@ mod tests {
                    #[cfg(test)]\nmod tests { fn t() { let m = rx.recv(); } }\n";
         let findings = check_source("crates/fl/src/system.rs", src);
         assert!(findings.iter().all(|f| f.rule != Rule::L008), "{findings:?}");
+    }
+
+    #[test]
+    fn l009_flags_clone_in_param_plane_files_only() {
+        let src = "fn f(p: &ModelParams) { let a = p.clone(); let b = p.share(); \
+                   let c = other.clone(); }";
+        for file in L009_FILES {
+            let hits = check_source(file, src)
+                .iter()
+                .filter(|f| f.rule == Rule::L009)
+                .count();
+            assert_eq!(hits, 2, "{file}");
+        }
+        // The sanctioned copy sites and unrelated files are exempt.
+        for exempt in [
+            "crates/fl/src/transport.rs",
+            "crates/nn/src/params.rs",
+            "crates/tensor/src/tensor.rs",
+        ] {
+            let findings = check_source(exempt, src);
+            assert!(findings.iter().all(|f| f.rule != Rule::L009), "{exempt}");
+        }
+    }
+
+    #[test]
+    fn l009_skips_tests_and_allows() {
+        let src = "let t = telemetry.clone(); // lint: allow(L009, telemetry handle, not params)\n\
+                   #[cfg(test)]\nmod tests { fn t() { let c = p.clone(); } }\n";
+        let findings = check_source("crates/fl/src/client.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L009), "{findings:?}");
     }
 
     #[test]

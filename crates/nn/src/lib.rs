@@ -58,11 +58,13 @@ pub mod norm;
 pub mod optim;
 pub mod params;
 pub mod pool;
+pub mod view;
 
 pub use error::NnError;
 pub use layer::Layer;
 pub use model::Model;
 pub use params::{LayerParams, ModelParams};
+pub use view::{ParamView, ParamViewMut};
 
 /// Crate-wide result alias for fallible network operations.
 pub type Result<T> = std::result::Result<T, NnError>;

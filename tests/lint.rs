@@ -1,5 +1,5 @@
 //! Workspace lint gate: runs the `dinar-lint` ratchet as part of
-//! `cargo test`, so a new violation of any repo invariant (L001–L008)
+//! `cargo test`, so a new violation of any repo invariant (L001–L009)
 //! fails CI even if nobody ran the CLI.
 
 use std::path::Path;
@@ -42,6 +42,28 @@ fn no_bare_recv_in_fl_at_all() {
         l008.is_empty(),
         "bare mpsc recv crept back into dinar-fl:\n{}",
         l008.iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn no_param_clone_in_param_plane_at_all() {
+    // L009 starts — and must stay — at zero: the zero-copy parameter plane
+    // only holds if every snapshot in the defense/obfuscation/aggregation
+    // modules is an explicit O(1) `share()`. One unexamined `.clone()`
+    // silently reintroduces a full model copy per client per round.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (findings, _) = dinar_lint::check_against_baseline(root).expect("lint pass should run");
+    let l009: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == dinar_lint::rules::Rule::L009)
+        .collect();
+    assert!(
+        l009.is_empty(),
+        "a deep params clone crept back into the parameter plane:\n{}",
+        l009.iter()
             .map(|f| format!("  {f}"))
             .collect::<Vec<_>>()
             .join("\n")
