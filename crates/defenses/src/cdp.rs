@@ -9,9 +9,9 @@
 //! model; individual client uploads remain visible to the server — which is
 //! why CDP protects local models poorly in the paper's Fig. 6.
 
-use crate::dp::{add_gaussian_noise, DpParams};
+use crate::dp::{add_gaussian_noise, clip_l2_with_count, DpParams};
 use dinar_fl::{Result, ServerMiddleware};
-use dinar_nn::{ModelParams, ParamView};
+use dinar_nn::ModelParams;
 use dinar_tensor::Rng;
 
 /// CDP server middleware: the Gaussian mechanism on the FedAvg aggregate's
@@ -51,12 +51,7 @@ impl ServerMiddleware for CentralDp {
     fn transform_aggregate(&mut self, params: &mut ModelParams) -> Result<()> {
         if let Some(prev) = &self.previous_global {
             let mut update = params.sub(prev)?;
-            // One-pass norm + count over the view replaces the old
-            // clip_l2 + param_count double traversal (same clip behavior).
-            let (norm, count) = ParamView::of_model(&update).norm_and_count();
-            if norm > self.dp.clip_norm && norm > 0.0 {
-                update.scale(self.dp.clip_norm / norm);
-            }
+            let (_, count) = clip_l2_with_count(&mut update, self.dp.clip_norm);
             let d = count.max(1) as f32;
             let std_dev = self.dp.noise_multiplier() * self.dp.clip_norm
                 / (self.clients as f32 * d.sqrt());

@@ -51,10 +51,33 @@ impl DpParams {
 /// the factor applied (1.0 when already within the bound).
 pub fn clip_l2(params: &mut ModelParams, clip_norm: f32) -> f32 {
     let norm = ParamView::of_model(params).l2_norm();
-    if norm > clip_norm && norm > 0.0 {
-        let factor = clip_norm / norm;
+    let factor = clip_factor(norm, clip_norm);
+    if factor < 1.0 {
         params.scale(factor);
-        factor
+    }
+    factor
+}
+
+/// Like [`clip_l2`] but returns the **pre-clip** norm together with the
+/// parameter count, both from the same single traversal — the shape the
+/// mechanisms need to scale their noise (`σ · clip / √d`) without a second
+/// pass over the parameters.
+pub fn clip_l2_with_count(params: &mut ModelParams, clip_norm: f32) -> (f32, usize) {
+    let (norm, count) = ParamView::of_model(params).norm_and_count();
+    let factor = clip_factor(norm, clip_norm);
+    if factor < 1.0 {
+        params.scale(factor);
+    }
+    (norm, count)
+}
+
+/// The scaling factor that projects a vector of L2 norm `norm` onto the
+/// `clip_norm` ball: `clip/norm` when outside, `1.0` otherwise (including
+/// the zero vector). Fused mechanisms like DP-SGD apply this factor inline
+/// instead of materializing a clipped copy.
+pub fn clip_factor(norm: f32, clip_norm: f32) -> f32 {
+    if norm > clip_norm && norm > 0.0 {
+        clip_norm / norm
     } else {
         1.0
     }
@@ -85,10 +108,7 @@ pub fn add_gaussian_noise(params: &mut ModelParams, std_dev: f32, rng: &mut Rng)
 /// client-level DP literature. Norm and parameter count come from one pass
 /// over a [`ParamView`] instead of two traversals.
 pub fn gaussian_mechanism(params: &mut ModelParams, dp: &DpParams, rng: &mut Rng) {
-    let (norm, count) = ParamView::of_model(params).norm_and_count();
-    if norm > dp.clip_norm && norm > 0.0 {
-        params.scale(dp.clip_norm / norm);
-    }
+    let (_, count) = clip_l2_with_count(params, dp.clip_norm);
     let d = count.max(1) as f32;
     let std_dev = dp.noise_multiplier() * dp.clip_norm / d.sqrt();
     add_gaussian_noise(params, std_dev, rng);

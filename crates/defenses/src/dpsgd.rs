@@ -9,7 +9,7 @@
 //! transform (batch-level clipping — the standard CPU-friendly approximation
 //! of Opacus's per-sample clipping, preserving the noise-vs-budget shape).
 
-use crate::dp::DpParams;
+use crate::dp::{clip_factor, DpParams};
 use dinar_nn::optim::Optimizer;
 use dinar_nn::{Model, Result};
 use dinar_tensor::Rng;
@@ -66,11 +66,7 @@ impl Optimizer for DpOptimizer {
         }
         let norm = norm_sq.sqrt() as f32;
         let clip = self.dp.clip_norm;
-        let scale = if norm > clip && norm > 0.0 {
-            clip / norm
-        } else {
-            1.0
-        };
+        let scale = clip_factor(norm, clip);
         // Per-coordinate noise std σ·C/√d: total noise norm σ·C, the same
         // calibration as the upload-time mechanism, applied per step.
         let grads = model.grads_mut();

@@ -92,6 +92,7 @@ impl SaGroup {
             // (bit-identical, no per-layer noise allocations).
             view.for_each_slice_mut(|s| {
                 for x in s {
+                    // lint: allow(L010, pairwise masks cancel exactly in the sum; not DP noise, no clip obligation)
                     *x += sign * rng.normal_with(0.0, self.mask_std);
                 }
             });

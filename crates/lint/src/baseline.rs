@@ -73,6 +73,17 @@ impl Baseline {
         }
     }
 
+    /// Iterates over every recorded `(rule, file, count)` entry, in stable
+    /// (sorted) order — used by the baseline-sanity gate to reject unknown
+    /// rule IDs and stale paths.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, usize)> {
+        self.counts.iter().flat_map(|(rule, files)| {
+            files
+                .iter()
+                .map(move |(file, &n)| (rule.as_str(), file.as_str(), n))
+        })
+    }
+
     /// The recorded count for a (rule, file) pair.
     pub fn count(&self, rule: &str, file: &str) -> usize {
         self.counts

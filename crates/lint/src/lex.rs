@@ -1,0 +1,145 @@
+//! Token stream over stripped source: the lexer front end of the semantic
+//! engine.
+//!
+//! [`crate::strip`] already erased comments and string contents (preserving
+//! line/column structure), so lexing reduces to splitting the remaining
+//! code into identifiers, numeric literals and single-character punctuation.
+//! Multi-character operators (`::`, `->`, `+=`) stay as adjacent punctuation
+//! tokens; the parser in [`crate::sem`] matches them pairwise, which keeps
+//! the lexer trivial and the token positions exact.
+
+use crate::strip::Stripped;
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `clip_l2`, `HashMap`, …).
+    Ident,
+    /// Numeric literal (`42`, `0xEE`, `1e-5` lexes as `1e` `-` `5`).
+    Num,
+    /// One punctuation character (`.`, `:`, `{`, …).
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// The token text (identifier/number spelling; punctuation repeats the
+    /// character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// `true` if this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// `true` if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes a stripped file into a token stream.
+pub fn lex(stripped: &Stripped) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut j = 0usize;
+        while j < chars.len() {
+            let c = chars[j];
+            if c.is_whitespace() {
+                j += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = j;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: chars[start..j].iter().collect(),
+                    line: n,
+                });
+            } else if c.is_ascii_digit() {
+                // Numbers including hex/underscore/float forms; exponents
+                // with a sign split at the sign, which the rules never need.
+                let start = j;
+                while j < chars.len()
+                    && (chars[j].is_alphanumeric() || chars[j] == '_' || chars[j] == '.')
+                {
+                    // A `.` only continues the number when followed by a
+                    // digit (so `1.max(2)` lexes as `1` `.` `max` …).
+                    if chars[j] == '.' && !chars.get(j + 1).is_some_and(char::is_ascii_digit) {
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: chars[start..j].iter().collect(),
+                    line: n,
+                });
+            } else {
+                toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: c.to_string(),
+                    line: n,
+                });
+                j += 1;
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strip::strip;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(&strip(src))
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts_split() {
+        let toks = kinds("fn f(x: u64) { x + 0xEE_u64 }");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "f", "(", "x", ":", "u64", ")", "{", "x", "+", "0xEE_u64", "}"]
+        );
+        assert_eq!(toks[10].kind, TokKind::Num);
+    }
+
+    #[test]
+    fn method_on_number_splits_at_dot() {
+        let texts: Vec<String> = kinds("1.max(2); 1.5.sqrt()")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(
+            texts,
+            ["1", ".", "max", "(", "2", ")", ";", "1.5", ".", "sqrt", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = kinds("a\nb\n\nc");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn strings_and_comments_yield_no_tokens() {
+        let toks = kinds("let s = \"panic! unwrap()\"; // unwrap()\n");
+        assert!(toks.iter().all(|t| t.text != "panic" && t.text != "unwrap"));
+    }
+}

@@ -1,10 +1,13 @@
 //! # dinar-lint
 //!
-//! An in-repo, token-level static-analysis pass for the DINAR workspace.
-//! The reproduction's claims (attack AUC, per-layer sensitivity, figure
-//! regeneration) depend on determinism and error-handling discipline that
-//! generic tooling cannot check, so this crate enforces nine repo-specific
-//! invariants:
+//! An in-repo static-analysis pass for the DINAR workspace. The
+//! reproduction's claims (attack AUC, per-layer sensitivity, figure
+//! regeneration) depend on determinism, privacy-ordering and error-handling
+//! discipline that generic tooling cannot check, so this crate enforces
+//! fourteen repo-specific invariants. L001–L009 are token-level per-line
+//! rules; L010–L014 run on a semantic engine — a lexer ([`lex`]) over
+//! stripped sources, a lightweight item parser ([`sem`]), and a workspace
+//! symbol table with an approximate call graph ([`graph`]):
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -17,19 +20,31 @@
 //! | L007 | no ambient `Instant::now()` outside the sanctioned clock modules (`clock.rs`, `timing.rs`, `dinar-telemetry`) |
 //! | L008 | no bare mpsc `recv()`/`recv_timeout()` in `dinar-fl` outside the sanctioned deadline helper (`crates/fl/src/deadline.rs`) |
 //! | L009 | no `.clone()` in the parameter-plane modules — snapshot params with the O(1) `share()` (sanctioned copy sites: `crates/fl/src/transport.rs`, `crates/nn/src/params.rs`) |
+//! | L010 | clip-dominates-noise: in `dinar-defenses`, every call path reaching a Gaussian noise draw passes through a clip source (`clip_l2`/`clip_l2_with_count`/`clip_factor`) first |
+//! | L011 | seed-taint: no `seed_from(<integer literal>)` outside tests/benches — RNG streams derive from plumbed config |
+//! | L012 | panic-reachability: no `panic!`/`unwrap`/`expect` reachable through the call graph from the FL round loop or the threaded transport |
+//! | L013 | lock-order: nested `Mutex` acquisitions follow the global order `telemetry.spans < telemetry.registry < telemetry.histo < fl.trace < tensor.par` |
+//! | L014 | no arithmetic accumulation over unordered-container (`HashSet`/`HashMap`) iteration in the deterministic crates |
 //!
 //! Pre-existing violations live in a committed [`baseline::BASELINE_FILE`]
 //! and only *rising* counts fail (the ratchet), so the debt shrinks
-//! monotonically without blocking unrelated work. Run the CLI with
+//! monotonically without blocking unrelated work. The semantic rules
+//! L010–L014 are ratcheted at zero by `tests/lint.rs`. Run the CLI with
 //! `cargo run -p dinar-lint`, regenerate the baseline after intentional
-//! fixes with `cargo run -p dinar-lint -- --update-baseline`, and rely on
-//! the umbrella `tests/lint.rs` gate to enforce the ratchet in `cargo test`.
+//! fixes with `cargo run -p dinar-lint -- --update-baseline`, emit the
+//! machine-readable trend report with `-- --json`
+//! (`bench-results/LINT_report.json`), print a rule's rationale with
+//! `-- --explain L010`, and rely on the umbrella `tests/lint.rs` gate to
+//! enforce the ratchet in `cargo test`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod graph;
+pub mod lex;
 pub mod rules;
+pub mod sem;
 pub mod strip;
 
 pub use baseline::{Baseline, Regression, BASELINE_FILE};
@@ -155,17 +170,23 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, LintError> {
     let dirs = crate_dirs(root)?;
     let mut findings = Vec::new();
 
-    // Per-file rules (L001/L002/L004/L006/L007/L008) over crates/*/src and tests/.
+    // Per-file rules (L001/L002/L004/L006/L007/L008/L009) over crates/*/src
+    // and tests/; the same pass collects sources for the semantic engine.
     let mut files = Vec::new();
     for dir in &dirs {
         rs_files_under(&dir.join("src"), &mut files)?;
     }
     rs_files_under(&root.join("tests"), &mut files)?;
     files.sort();
+    let mut sources = Vec::new();
     for file in &files {
         let source = read(file)?;
         findings.extend(rules::check_source(&rel(root, file), &source));
+        sources.push((rel(root, file), source));
     }
+
+    // Cross-file semantic rules (L010–L014) on the call-graph engine.
+    findings.extend(graph::check_semantic(&sources));
 
     // L003 needs whole-crate visibility (impls may live away from the enum).
     for dir in &dirs {

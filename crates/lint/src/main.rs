@@ -4,10 +4,13 @@
 //! cargo run -p dinar-lint                      # ratchet check (exit 1 on regressions)
 //! cargo run -p dinar-lint -- --verbose         # also list every current finding
 //! cargo run -p dinar-lint -- --update-baseline # re-record lint-baseline.json
+//! cargo run -p dinar-lint -- --json            # write bench-results/LINT_report.json
+//! cargo run -p dinar-lint -- --explain L010    # print one rule's full rationale
 //! cargo run -p dinar-lint -- --root <dir>      # lint another workspace root
 //! ```
 
 use dinar_lint::{check_against_baseline, lint_workspace, Baseline, Rule, BASELINE_FILE};
+use dinar_tensor::json::{Json, ToJson};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,9 +18,16 @@ struct Options {
     root: PathBuf,
     update_baseline: bool,
     verbose: bool,
+    json: bool,
+    explain: Option<String>,
 }
 
-const USAGE: &str = "usage: dinar-lint [--root DIR] [--update-baseline] [--verbose]";
+const USAGE: &str =
+    "usage: dinar-lint [--root DIR] [--update-baseline] [--verbose] [--json] [--explain RULE]";
+
+/// Repo-relative path of the machine-readable trend report written by
+/// `--json`.
+const REPORT_FILE: &str = "bench-results/LINT_report.json";
 
 /// `Ok(None)` means `--help`: print usage and exit successfully.
 fn parse_args() -> Result<Option<Options>, String> {
@@ -25,12 +35,20 @@ fn parse_args() -> Result<Option<Options>, String> {
         root: workspace_root(),
         update_baseline: false,
         verbose: false,
+        json: false,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--update-baseline" => options.update_baseline = true,
             "--verbose" | "-v" => options.verbose = true,
+            "--json" => options.json = true,
+            "--explain" => {
+                options.explain = Some(
+                    args.next().ok_or_else(|| "--explain requires a rule ID".to_string())?,
+                );
+            }
             "--root" => {
                 options.root = PathBuf::from(
                     args.next().ok_or_else(|| "--root requires a path".to_string())?,
@@ -41,6 +59,32 @@ fn parse_args() -> Result<Option<Options>, String> {
         }
     }
     Ok(Some(options))
+}
+
+/// Renders the per-rule trend report: total finding count plus each rule's
+/// current count and catalog description, in stable order.
+fn report_json(findings_total: usize, current: &Baseline) -> String {
+    let rules = Json::Obj(
+        Rule::all()
+            .into_iter()
+            .map(|rule| {
+                (
+                    rule.id().to_string(),
+                    Json::Obj(vec![
+                        ("count".to_string(), current.rule_total(rule.id()).to_json()),
+                        ("description".to_string(), rule.description().to_json()),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let report = Json::Obj(vec![
+        ("total".to_string(), findings_total.to_json()),
+        ("rules".to_string(), rules),
+    ]);
+    let mut text = report.dump_pretty();
+    text.push('\n');
+    text
 }
 
 /// The workspace root: this crate's manifest dir is `<root>/crates/lint`.
@@ -66,6 +110,20 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(id) = &options.explain {
+        return match Rule::from_id(id) {
+            Some(rule) => {
+                println!("{}", rule.explain());
+                ExitCode::SUCCESS
+            }
+            None => {
+                let known: Vec<&str> = Rule::all().iter().map(|r| r.id()).collect();
+                eprintln!("unknown rule `{id}`; known rules: {}", known.join(", "));
+                ExitCode::from(2)
+            }
+        };
+    }
 
     if options.update_baseline {
         let findings = match lint_workspace(&options.root) {
@@ -102,6 +160,20 @@ fn main() -> ExitCode {
         }
     }
     let current = Baseline::from_findings(&findings);
+    if options.json {
+        let path = options.root.join(REPORT_FILE);
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, report_json(findings.len(), &current)) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {}", path.display());
+    }
     println!("lint: {} finding(s) against baseline:", findings.len());
     for rule in Rule::all() {
         println!("  {:<5} {:>4}  {}", rule.id(), current.rule_total(rule.id()), rule.description());

@@ -1,8 +1,10 @@
-//! The rule catalog: nine repo-specific invariants (L001–L009).
+//! The rule catalog: fourteen repo-specific invariants (L001–L014).
 //!
-//! Each rule is a pure function from preprocessed sources (or manifests) to
-//! [`Finding`]s, so the unit tests can drive them with inline fixtures and
-//! the CLI/umbrella gate can drive them with the real workspace.
+//! L001–L009 are per-line rules: pure functions from preprocessed sources
+//! (or manifests) to [`Finding`]s. L010–L014 are cross-file semantic rules
+//! that run on the call-graph engine in [`crate::graph`]. Both layers are
+//! driven with inline fixtures by unit tests and with the real workspace by
+//! the CLI/umbrella gate.
 
 use crate::strip::{strip, Stripped};
 use std::collections::{BTreeMap, BTreeSet};
@@ -32,6 +34,20 @@ pub enum Rule {
     /// No `.clone()` in the parameter-plane modules: snapshot parameters
     /// with `share()` (an explicit O(1) copy-on-write share) instead.
     L009,
+    /// Clip dominates noise: in `dinar-defenses`, every path reaching a
+    /// Gaussian noise draw must first pass through an L2 clip source.
+    L010,
+    /// Seed taint: no integer-literal RNG seeds outside tests/benches.
+    L011,
+    /// Panic reachability: no `panic!`/`unwrap`/`expect` reachable through
+    /// the call graph from the FL round loop or the threaded transport.
+    L012,
+    /// Lock order: nested `Mutex` acquisitions must follow the one global
+    /// order.
+    L013,
+    /// Nondeterministic iteration: no arithmetic accumulation over
+    /// unordered-container iteration in the deterministic crates.
+    L014,
 }
 
 impl Rule {
@@ -48,6 +64,11 @@ impl Rule {
             Rule::L007 => "L007",
             Rule::L008 => "L008",
             Rule::L009 => "L009",
+            Rule::L010 => "L010",
+            Rule::L011 => "L011",
+            Rule::L012 => "L012",
+            Rule::L013 => "L013",
+            Rule::L014 => "L014",
         }
     }
 
@@ -63,11 +84,143 @@ impl Rule {
             Rule::L007 => "no Instant::now() outside the sanctioned clock modules",
             Rule::L008 => "no bare mpsc recv in dinar-fl outside the sanctioned deadline helper",
             Rule::L009 => "no .clone() in parameter-plane modules; snapshot params with share()",
+            Rule::L010 => "clip-dominates-noise: defenses must clip before drawing DP noise",
+            Rule::L011 => "seed-taint: no integer-literal RNG seeds outside tests/benches",
+            Rule::L012 => "panic-reachability: no panics reachable from the round loop/transport",
+            Rule::L013 => "lock-order: nested Mutex acquisitions must follow the global order",
+            Rule::L014 => "no arithmetic accumulation over unordered-container iteration",
+        }
+    }
+
+    /// Multi-paragraph rationale for `--explain <RULE>`: what the rule
+    /// checks, why the invariant is load-bearing, and how to satisfy it.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::L001 => {
+                "L001 — no unwrap()/expect() in non-test library code.\n\n\
+                 A panic in library code tears down whichever thread happened to call it;\n\
+                 in the threaded FL transport that is a client mid-round, and the round\n\
+                 stalls until the deadline fires. Return a Result, or — when the invariant\n\
+                 genuinely cannot fail — document it on the line with\n\
+                 `// lint: allow(L001, reason)`. An L001 allow also satisfies L012: the\n\
+                 documented invariant covers the transitive reachability rule."
+            }
+            Rule::L002 => {
+                "L002 — no nondeterminism sources in the deterministic crates.\n\n\
+                 Every figure in the paper reproduction must replay bit-identically from\n\
+                 its seeds. `thread_rng`, `SystemTime::now`, `Instant::now` and `HashMap`\n\
+                 (whose iteration order varies per process) all leak ambient state into\n\
+                 results. Use the seeded `dinar_tensor::rng`, the injectable `Clock`, and\n\
+                 `BTreeMap`/`Vec`."
+            }
+            Rule::L003 => {
+                "L003 — public `*Error` enums implement Display + std::error::Error.\n\n\
+                 Error types cross crate boundaries; without the std trait impls they\n\
+                 cannot compose with `?` conversions or be boxed uniformly at the\n\
+                 harness layer."
+            }
+            Rule::L004 => {
+                "L004 — no bare `as` numeric casts in the tensor hot paths.\n\n\
+                 `as f32`/`as usize`/`as u32`/`as i32` silently truncate, round or wrap.\n\
+                 In the inner loops that every model forward/backward traverses, a\n\
+                 silent wrap corrupts results instead of failing. Use the checked\n\
+                 helpers in `dinar_tensor::cast`."
+            }
+            Rule::L005 => {
+                "L005 — manifests declare only in-repo dependencies.\n\n\
+                 The build must stay hermetic: every dependency is a path dependency on\n\
+                 a workspace crate, so the repo builds offline and the supply chain is\n\
+                 the repo itself."
+            }
+            Rule::L006 => {
+                "L006 — no raw thread spawning outside the worker pool.\n\n\
+                 Ad-hoc threads bypass the pool's deterministic partitioning, its\n\
+                 nested-parallelism guard and the per-thread allocation ledger. Route\n\
+                 data parallelism through `dinar_tensor::par`; only the pool itself and\n\
+                 the threaded client transport (long-lived simulated endpoints) are\n\
+                 exempt."
+            }
+            Rule::L007 => {
+                "L007 — no `Instant::now()` outside the sanctioned clock modules.\n\n\
+                 Direct wall-clock reads cannot be replayed. Telemetry spans, cost\n\
+                 accounting and bench profiles must flow through an injectable `Clock`\n\
+                 (swap in `ManualClock` for bit-identical reruns) or the bench `timing`\n\
+                 helpers."
+            }
+            Rule::L008 => {
+                "L008 — no bare mpsc recv in `dinar-fl` outside the deadline helper.\n\n\
+                 A bare blocking `recv()` only errors once every sender has dropped, so\n\
+                 one dead client thread hangs the server forever. `DeadlineReceiver`\n\
+                 budgets waits against the injectable `Clock` and surfaces ticks for\n\
+                 liveness checks; every wait routes through it."
+            }
+            Rule::L009 => {
+                "L009 — no `.clone()` in the parameter-plane modules.\n\n\
+                 Model parameters move through defenses and aggregation every round; a\n\
+                 stray `.clone()` is a full deep copy that silently regresses the\n\
+                 zero-copy plane. Snapshot with `share()` (O(1) copy-on-write) and keep\n\
+                 genuine deep copies at the two sanctioned sites."
+            }
+            Rule::L010 => {
+                "L010 — clip dominates noise (cross-file, call-graph).\n\n\
+                 The DP guarantee of the Gaussian mechanism holds only for bounded\n\
+                 sensitivity: the update must be L2-clipped before noise scaled to the\n\
+                 clip bound is added. Noising an unclipped update spends privacy budget\n\
+                 on a guarantee that does not hold — the classic silent DP bug. The rule\n\
+                 walks every function in `dinar-defenses` and requires each path that\n\
+                 reaches a noise draw (`add_gaussian_noise`, or a raw `normal*`/`randn*`\n\
+                 RNG call) to pass a clip source (`clip_l2`, `clip_l2_with_count`,\n\
+                 `clip_factor`) first, propagating the obligation through private\n\
+                 helpers up to pub/trait-impl entry points. Noise that is deliberately\n\
+                 unclipped (e.g. pairwise secure-aggregation masks that cancel in the\n\
+                 sum) carries `// lint: allow(L010, reason)` at the draw."
+            }
+            Rule::L011 => {
+                "L011 — seed taint (cross-file, call-graph).\n\n\
+                 Every RNG stream must derive from plumbed configuration\n\
+                 (`cfg.seed ^ salt`), so one config seed replays the whole system and\n\
+                 sweeps vary it centrally. `seed_from(<integer literal>)` in library\n\
+                 code hard-codes a stream no harness can vary; tests and benches are\n\
+                 exempt, and protocol constants can be annotated with\n\
+                 `// lint: allow(L011, reason)`."
+            }
+            Rule::L012 => {
+                "L012 — panic reachability (cross-file, call-graph).\n\n\
+                 L001 sees panic sites line by line; L012 extends it transitively: no\n\
+                 `panic!`/`.unwrap()`/`.expect(` may be reachable through the call graph\n\
+                 from the threaded transport or the server round loop, because a panic\n\
+                 there kills a client/server thread mid-round — the failure mode the\n\
+                 resilient transport exists to contain. Sites whose invariant is\n\
+                 documented with `lint: allow(L001, …)` (or `allow(L012, …)`) are\n\
+                 exempt; `assert!`/`unreachable!` are contracts and not matched. The\n\
+                 finding message prints one concrete root→site call chain."
+            }
+            Rule::L013 => {
+                "L013 — lock order (cross-file, call-graph).\n\n\
+                 Two threads acquiring the same two mutexes in opposite orders deadlock\n\
+                 under contention and pass every single-threaded test. The workspace\n\
+                 has one global acquisition order — telemetry.spans < telemetry.registry\n\
+                 < telemetry.histo < fl.trace < tensor.par — and nested acquisitions\n\
+                 (including those made by callees while a guard is held, with guards\n\
+                 conservatively assumed held to end of function) must move strictly down\n\
+                 it. Same-class re-entry is flagged too: std Mutex self-deadlocks."
+            }
+            Rule::L014 => {
+                "L014 — nondeterministic iteration (token-level, deterministic crates).\n\n\
+                 Float addition is not associative, so summing over a `HashSet`/`HashMap`\n\
+                 visit order leaks per-process hash seeds into figures. L002 already\n\
+                 bans `HashMap` wholesale in the deterministic crates; L014 closes the\n\
+                 `HashSet` gap and the allow-annotated residue by flagging iterator\n\
+                 chains that fold (`sum`/`fold`/`product`) over an unordered container\n\
+                 and `for` loops over one whose body compound-accumulates (`+=`, `*=`).\n\
+                 Use `BTreeMap`/`BTreeSet` or a sorted `Vec`; order-independent\n\
+                 accumulation can be annotated `// lint: allow(L014, reason)`."
+            }
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 9] {
+    pub fn all() -> [Rule; 14] {
         [
             Rule::L001,
             Rule::L002,
@@ -78,7 +231,17 @@ impl Rule {
             Rule::L007,
             Rule::L008,
             Rule::L009,
+            Rule::L010,
+            Rule::L011,
+            Rule::L012,
+            Rule::L013,
+            Rule::L014,
         ]
+    }
+
+    /// Looks a rule up by its `id()` string.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::all().into_iter().find(|r| r.id() == id)
     }
 }
 

@@ -2,38 +2,61 @@
 //!
 //! Backs the Table 3 comparison ("training duration per FL round on client
 //! side", "aggregation duration on server side", "GPU memory usage on client
-//! side"). Times are wall-clock; memory is the peak of extra live tensor
-//! bytes measured through `dinar_tensor::alloc`.
+//! side"). Time is read through the sanctioned injectable
+//! [`Clock`](crate::clock::Clock) — [`WallClock`] by default, a
+//! [`ManualClock`](crate::clock::ManualClock) in replay tests — and memory
+//! is the peak of extra live tensor bytes measured through
+//! `dinar_tensor::alloc`.
 
+use crate::clock::{Clock, WallClock};
 use dinar_tensor::alloc::MemoryScope;
 use dinar_tensor::json::{Json, ToJson};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A running stopwatch accumulating durations across start/stop cycles.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Stopwatch {
+    clock: Arc<dyn Clock>,
     total: Duration,
-    started: Option<Instant>,
+    started: Option<Duration>,
     laps: u32,
 }
 
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::new()
+    }
+}
+
 impl Stopwatch {
-    /// Creates a stopped stopwatch at zero.
+    /// Creates a stopped stopwatch at zero, timed by a fresh [`WallClock`].
     pub fn new() -> Self {
-        Stopwatch::default()
+        Stopwatch::with_clock(Arc::new(WallClock::new()))
+    }
+
+    /// Creates a stopped stopwatch at zero timed by `clock` — inject a
+    /// [`ManualClock`](crate::clock::ManualClock) for deterministic lap
+    /// durations in tests.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Stopwatch {
+            clock,
+            total: Duration::ZERO,
+            started: None,
+            laps: 0,
+        }
     }
 
     /// Starts (or restarts) timing. Calling `start` twice without `stop`
     /// restarts the current lap.
     pub fn start(&mut self) {
-        // lint: allow(L002, cost accounting measures real wall-clock time by design)
-        self.started = Some(Instant::now());
+        self.started = Some(self.clock.elapsed());
     }
 
     /// Stops timing and accumulates the lap. No-op if not started.
     pub fn stop(&mut self) {
         if let Some(t0) = self.started.take() {
-            self.total += t0.elapsed();
+            self.total += self.clock.elapsed().saturating_sub(t0);
             self.laps += 1;
         }
     }
@@ -134,13 +157,20 @@ pub struct CostOverhead {
     pub client_mem_pct: f64,
 }
 
-/// Measures a closure's wall-clock time and peak extra tensor memory.
+/// Measures a closure's wall-clock time and peak extra tensor memory,
+/// timing through a fresh [`WallClock`].
 pub fn measure<T>(f: impl FnOnce() -> T) -> (T, Duration, u64) {
+    measure_with(&WallClock::new(), f)
+}
+
+/// Measures a closure's elapsed time on `clock` and its peak extra tensor
+/// memory. Inject a [`ManualClock`](crate::clock::ManualClock) for
+/// deterministic timings in tests.
+pub fn measure_with<T>(clock: &dyn Clock, f: impl FnOnce() -> T) -> (T, Duration, u64) {
     let scope = MemoryScope::enter();
-    // lint: allow(L002, cost accounting measures real wall-clock time by design)
-    let t0 = Instant::now();
+    let t0 = clock.elapsed();
     let out = f();
-    let elapsed = t0.elapsed();
+    let elapsed = clock.elapsed().saturating_sub(t0);
     (out, elapsed, scope.peak_extra_bytes())
 }
 
@@ -165,6 +195,32 @@ mod tests {
         sw.stop();
         assert_eq!(sw.laps(), 0);
         assert_eq!(sw.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stopwatch_with_manual_clock_is_deterministic() {
+        let clock = Arc::new(crate::clock::ManualClock::new());
+        let mut sw = Stopwatch::with_clock(clock.clone());
+        sw.start();
+        clock.advance(Duration::from_millis(7));
+        sw.stop();
+        sw.start();
+        clock.advance(Duration::from_millis(3));
+        sw.stop();
+        assert_eq!(sw.laps(), 2);
+        assert_eq!(sw.total(), Duration::from_millis(10));
+        assert_eq!(sw.mean_lap(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn measure_with_manual_clock_is_deterministic() {
+        let clock = crate::clock::ManualClock::new();
+        let (out, elapsed, _) = measure_with(&clock, || {
+            clock.advance(Duration::from_micros(42));
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(elapsed, Duration::from_micros(42));
     }
 
     #[test]

@@ -10,14 +10,16 @@
 //! * **Jensen–Shannon divergence over histograms** ([`histogram`]) — the
 //!   generalization-gap measure of §3 used to rank layers by privacy
 //!   sensitivity (Fig. 1/4).
-//! * **Cost tracking** ([`cost`]) — wall-clock stopwatches and tensor-memory
-//!   scopes behind the Table 3 overhead columns.
+//! * **Cost tracking** ([`cost`]) — stopwatches and tensor-memory scopes
+//!   behind the Table 3 overhead columns, timed through the injectable
+//!   [`clock::Clock`].
 //! * **Summary statistics** ([`stats`]) — means, standard deviations and
 //!   quantiles used across the experiment reports.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod confusion;
 pub mod cost;
 pub mod histogram;

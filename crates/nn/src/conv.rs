@@ -128,6 +128,7 @@ fn rows_to_nchw(rows: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Ten
             }
         });
     }
+    // lint: allow(L001, length is n*oc*oh*ow by construction)
     Tensor::from_vec(out, &[n, oc, oh, ow]).expect("size preserved")
 }
 
@@ -153,6 +154,7 @@ fn nchw_to_rows(t: &Tensor, n: usize, oc: usize, oh: usize, ow: usize) -> Tensor
             }
         });
     }
+    // lint: allow(L001, length is n*oh*ow*oc by construction)
     Tensor::from_vec(out, &[n * oh * ow, oc]).expect("size preserved")
 }
 

@@ -131,6 +131,7 @@ impl Model {
                     .enumerate()
                     .find(|(_, x)| !x.is_finite())
                 {
+                    // lint: allow(L012, the sanitize contract: fail loudly at the poisoning layer)
                     panic!(
                         "sanitize: backward produced non-finite gradient {x} in \
                          trainable layer {slot} (`{}`), gradient tensor {tensor_idx}, \
@@ -188,6 +189,7 @@ impl Model {
         self.record_grad_norms();
         Ok(taps
             .into_iter()
+            // lint: allow(L001, the loop above visits every trainable index by construction)
             .map(|t| t.expect("every trainable layer was visited"))
             .collect())
     }

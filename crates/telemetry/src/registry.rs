@@ -214,6 +214,7 @@ impl Registry {
     pub fn counter(&self, name: &str, volatile: bool) -> Counter {
         match self.entry(name, volatile, || Metric::Counter(Counter::default())) {
             Metric::Counter(c) => c,
+            // lint: allow(L012, kind mismatch is a programmer error at the registration site)
             other => panic!("metric `{name}` is not a counter: {other:?}"),
         }
     }
@@ -226,6 +227,7 @@ impl Registry {
     pub fn gauge(&self, name: &str, volatile: bool) -> Gauge {
         match self.entry(name, volatile, || Metric::Gauge(Gauge::default())) {
             Metric::Gauge(g) => g,
+            // lint: allow(L012, kind mismatch is a programmer error at the registration site)
             other => panic!("metric `{name}` is not a gauge: {other:?}"),
         }
     }

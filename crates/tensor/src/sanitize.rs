@@ -34,6 +34,7 @@ pub fn check_finite(op: &str, role: &str, t: &Tensor) {
             .enumerate()
             .find(|(_, x)| !x.is_finite())
         {
+            // lint: allow(L012, the sanitize contract: fail loudly at the op that produced the NaN)
             panic!(
                 "sanitize: `{op}` {role} contains non-finite value {x} at flat \
                  index {i} (shape {:?})",
@@ -55,6 +56,7 @@ pub fn check_finite_slice(op: &str, role: &str, values: &[f32]) {
     #[cfg(feature = "sanitize")]
     {
         if let Some((i, x)) = values.iter().enumerate().find(|(_, x)| !x.is_finite()) {
+            // lint: allow(L012, the sanitize contract: fail loudly at the op that produced the NaN)
             panic!(
                 "sanitize: `{op}` {role} contains non-finite value {x} at flat index {i}"
             );

@@ -219,6 +219,18 @@ impl Tensor {
         })
     }
 
+    /// Infallible constructor for call sites where `data.len()` equals the
+    /// product of `shape` by construction (fills, generators, element-wise
+    /// maps). Routes through the same [`Buf`] accounting as
+    /// [`Tensor::from_vec`]; the invariant is checked in debug builds only.
+    fn from_parts(data: Vec<f32>, shape: Vec<usize>) -> Self {
+        debug_assert_eq!(shape.iter().product::<usize>(), data.len());
+        Tensor {
+            buf: Arc::new(Buf::new(data)),
+            shape,
+        }
+    }
+
     /// Deserializes a tensor from its JSON form (see [`ToJson`] impl),
     /// routing through [`Tensor::from_vec`] so the buffer participates in
     /// the allocation accounting.
@@ -254,13 +266,13 @@ impl Tensor {
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
-        Tensor::from_vec(data.to_vec(), &[data.len()]).expect("lengths match by construction")
+        Tensor::from_parts(data.to_vec(), vec![data.len()])
     }
 
     /// Creates a tensor of the given shape filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = shape.iter().product();
-        Tensor::from_vec(vec![value; len], shape).expect("lengths match by construction")
+        Tensor::from_parts(vec![value; len], shape.to_vec())
     }
 
     /// Creates a tensor of zeros.
@@ -304,7 +316,7 @@ impl Tensor {
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let len = shape.iter().product();
         let data = (0..len).map(&mut f).collect();
-        Tensor::from_vec(data, shape).expect("lengths match by construction")
+        Tensor::from_parts(data, shape.to_vec())
     }
 
     // ------------------------------------------------------------------
@@ -460,8 +472,11 @@ impl Tensor {
 
     /// Flattens to rank 1 (O(1): shares the buffer).
     pub fn flatten(&self) -> Tensor {
-        self.reshape(&[self.buf.data.len()])
-            .expect("flatten preserves element count")
+        profile::record_buffer_share();
+        Tensor {
+            buf: Arc::clone(&self.buf),
+            shape: vec![self.buf.data.len()],
+        }
     }
 
     /// Transpose of a rank-2 tensor.
@@ -706,8 +721,10 @@ impl Tensor {
 
     /// Returns a new tensor with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor::from_vec(self.buf.data.iter().map(|&x| f(x)).collect(), &self.shape)
-            .expect("map preserves length")
+        Tensor::from_parts(
+            self.buf.data.iter().map(|&x| f(x)).collect(),
+            self.shape.clone(),
+        )
     }
 
     /// Applies `f` to every element in place.

@@ -1,6 +1,8 @@
 //! Workspace lint gate: runs the `dinar-lint` ratchet as part of
-//! `cargo test`, so a new violation of any repo invariant (L001–L009)
-//! fails CI even if nobody ran the CLI.
+//! `cargo test`, so a new violation of any repo invariant (L001–L014)
+//! fails CI even if nobody ran the CLI. The semantic rules L010–L014 are
+//! ratcheted at zero here (not via the baseline), and the baseline file
+//! itself is checked for unknown rule IDs and stale paths.
 
 use std::path::Path;
 
@@ -71,6 +73,39 @@ fn no_param_clone_in_param_plane_at_all() {
 }
 
 #[test]
+fn semantic_rules_stay_at_zero() {
+    // L010–L014 run on the call-graph engine and start — and must stay —
+    // at zero; they guard the invariants the paper's correctness rests on:
+    //   L010  clip-then-noise ordering (the DP sensitivity bound)
+    //   L011  every RNG stream derives from plumbed config
+    //   L012  no panic reachable from the round loop / transport
+    //   L013  one global Mutex acquisition order
+    //   L014  no float accumulation over unordered iteration
+    use dinar_lint::rules::Rule;
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (findings, _) = dinar_lint::check_against_baseline(root).expect("lint pass should run");
+    let semantic: Vec<_> = findings
+        .iter()
+        .filter(|f| {
+            matches!(
+                f.rule,
+                Rule::L010 | Rule::L011 | Rule::L012 | Rule::L013 | Rule::L014
+            )
+        })
+        .collect();
+    assert!(
+        semantic.is_empty(),
+        "semantic rule violation(s) (fix them or justify with a \
+         `lint: allow(RULE, reason)` at the site):\n{}",
+        semantic
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
 fn baseline_file_is_well_formed() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let path = root.join(dinar_lint::BASELINE_FILE);
@@ -80,4 +115,36 @@ fn baseline_file_is_well_formed() {
         dinar_lint::BASELINE_FILE
     );
     dinar_lint::Baseline::load(&path).expect("committed baseline parses");
+}
+
+#[test]
+fn baseline_has_no_unknown_rules_or_stale_paths() {
+    // A typo'd rule ID would allowlist nothing, and an entry for a deleted
+    // or renamed file is dead debt that hides a real regression budget —
+    // both should fail loudly instead of rotting in the committed file.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let baseline = dinar_lint::Baseline::load(&root.join(dinar_lint::BASELINE_FILE))
+        .expect("committed baseline parses");
+    let mut problems = Vec::new();
+    for (rule, file, count) in baseline.iter() {
+        if dinar_lint::rules::Rule::from_id(rule).is_none() {
+            problems.push(format!("unknown rule ID `{rule}` (entry for {file})"));
+        }
+        if !root.join(file).exists() {
+            problems.push(format!("stale path `{file}` under `{rule}` no longer exists"));
+        }
+        if count == 0 {
+            problems.push(format!("zero-count entry `{rule}` / `{file}` should be dropped"));
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "lint-baseline.json needs attention (run `cargo run -p dinar-lint -- \
+         --update-baseline`):\n{}",
+        problems
+            .iter()
+            .map(|p| format!("  {p}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
