@@ -14,7 +14,7 @@ use crate::impl_to_json;
 use crate::timing::{bench, bench_batched, Config, Measurement};
 use dinar_tensor::conv::{im2col2d, Conv2dGeom};
 use dinar_tensor::json::{Json, ToJson};
-use dinar_tensor::{par, Rng};
+use dinar_tensor::{par, Rng, Tensor};
 use std::hint::black_box;
 
 /// One benchmark result row of the tensor suite.
@@ -107,6 +107,23 @@ pub fn run(config: &Config) -> dinar_tensor::Result<Vec<TensorBenchEntry>> {
     let m = bench("randn_100k", config, || black_box(rng.randn(&[100_000])));
     entries.push(entry("randn", "100k", &m));
 
+    // Allocation-free sampler variants over the same 100k draw: the
+    // (randn − randn_into) gap is the tensor-allocation cost, and either
+    // row's ns_per_iter ÷ 100_000 is the bulk sampler's ns/element.
+    let mut out = Tensor::zeros(&[100_000]);
+    let m = bench("randn_into_100k", config, || {
+        rng.randn_into(&mut out);
+        black_box(&out);
+    });
+    entries.push(entry("randn_into", "100k", &m));
+
+    let mut buf = vec![0.0f32; 100_000];
+    let m = bench("fill_normal_100k", config, || {
+        rng.fill_normal(&mut buf);
+        black_box(&buf);
+    });
+    entries.push(entry("fill_normal", "100k", &m));
+
     Ok(entries)
 }
 
@@ -132,14 +149,14 @@ mod tests {
             target_sample: Duration::from_millis(0),
         };
         let entries = run(&config).expect("static shapes are consistent");
-        assert_eq!(entries.len(), 7);
+        assert_eq!(entries.len(), 9);
         assert!(entries.iter().all(|e| e.ns_per_iter > 0.0));
         assert!(entries.iter().all(|e| e.threads == par::threads()));
 
         let json = to_json(&entries);
         let back = Json::parse(&json.dump_pretty()).expect("emitter output parses");
         let rows = back.get("entries").and_then(Json::as_arr).expect("entries");
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 9);
         assert_eq!(
             rows[2].get("op").and_then(Json::as_str),
             Some("matmul"),

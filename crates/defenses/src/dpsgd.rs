@@ -73,10 +73,16 @@ impl Optimizer for DpOptimizer {
         let d: usize = grads.iter().map(|g| g.len()).sum();
         let std_dev =
             self.dp.noise_multiplier() * clip / ((d.max(1) as f32).sqrt() * self.amortization);
+        // Clip (scale in place), then one bulk counter-based noise fill per
+        // gradient tensor — the per-step cost is a few ns per coordinate
+        // instead of a scalar Box–Muller draw each.
         for g in grads {
-            for v in g.as_mut_slice() {
-                *v = *v * scale + std_dev * self.rng.normal();
+            if scale < 1.0 {
+                for v in g.as_mut_slice() {
+                    *v *= scale;
+                }
             }
+            self.rng.axpy_normal(g.as_mut_slice(), std_dev);
         }
         self.inner.step(model)
     }

@@ -87,14 +87,15 @@ impl SaGroup {
             }
             let mut rng = self.pair_rng(client, peer);
             let sign = if client < peer { 1.0 } else { -1.0 };
-            // Draw each peer's PRG stream directly into the mask buffer, in
-            // the flat canonical order the old per-tensor noise buffers used
-            // (bit-identical, no per-layer noise allocations).
+            // Draw each peer's PRG stream directly into the mask buffer in
+            // flat canonical order, one bulk fill per parameter slice. Both
+            // ends of a pair walk the same slice sequence from the same
+            // pair seed, so they derive the same counter-based streams; the
+            // sign rides in the scale, and z·(-σ) = -(z·σ) exactly, so the
+            // masks still cancel bit-for-bit in the server's sum.
             view.for_each_slice_mut(|s| {
-                for x in s {
-                    // lint: allow(L010, pairwise masks cancel exactly in the sum; not DP noise, no clip obligation)
-                    *x += sign * rng.normal_with(0.0, self.mask_std);
-                }
+                // lint: allow(L010, pairwise masks cancel exactly in the sum; not DP noise, no clip obligation)
+                rng.axpy_normal(s, sign * self.mask_std);
             });
         }
         let w = self.weights[client];

@@ -1,5 +1,5 @@
 //! Workspace symbol table, approximate call graph and the cross-file rules
-//! L010–L014.
+//! L010–L015.
 //!
 //! Resolution is **name-based** (no type inference): free calls resolve to
 //! every workspace free function of that name, `Type::method` resolves
@@ -15,7 +15,7 @@
 //! or sinks live there, and their free-name overlap with the library crates
 //! (`run`, `measure`, …) would only add false edges.
 
-use crate::rules::{Finding, Rule, DETERMINISTIC_CRATES};
+use crate::rules::{Finding, Rule, DETERMINISTIC_CRATES, L009_FILES};
 use crate::sem::{parse_file, CallKind, EventKind, FnInfo};
 use crate::strip::{strip, Stripped};
 use std::collections::{BTreeMap, BTreeSet};
@@ -177,7 +177,9 @@ pub fn check_semantic(sources: &[(String, String)]) -> Vec<Finding> {
     check_l012(&ws, &mut findings);
     check_l013(&ws, &mut findings);
     for (path, source) in sources {
-        check_l014(path, &strip(source), &mut findings);
+        let stripped = strip(source);
+        check_l014(path, &stripped, &mut findings);
+        check_l015(path, &stripped, &mut findings);
     }
     findings
 }
@@ -659,6 +661,97 @@ fn check_l014(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// L015: scalar noise draws inside loops
+// ---------------------------------------------------------------------
+
+const L015_SCALAR_DRAWS: [&str; 2] = ["normal", "normal_with"];
+
+/// L015: in the defenses crate and the parameter-plane modules
+/// ([`L009_FILES`]), scalar `.normal()`/`.normal_with()` draws must not sit
+/// inside `for`/`while`/`loop` bodies. A per-element Box–Muller draw walks
+/// the sequential generator one sample at a time — an order of magnitude
+/// slower than the chunked counter-based fills — and a loop over parameters
+/// is exactly the hot shape where that cost dominates a defense's round
+/// time. Use `fill_normal`/`fill_normal_with`/`axpy_normal` on the whole
+/// slice instead; they are also cache-free and telemetry-counted.
+fn check_l015(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    let in_scope = path.starts_with("crates/defenses/src/") || L009_FILES.contains(&path);
+    if !in_scope {
+        return;
+    }
+    let toks = crate::lex::lex(stripped);
+
+    let mut report = |line: usize, method: &str| {
+        if stripped.is_test_line(line) || stripped.is_allowed("L015", line) {
+            return;
+        }
+        findings.push(Finding {
+            rule: Rule::L015,
+            file: path.to_string(),
+            line,
+            message: format!(
+                "scalar `.{method}(…)` draw inside a loop; fill the whole slice \
+                 with `fill_normal`/`fill_normal_with`/`axpy_normal` instead, or \
+                 annotate `lint: allow(L015, reason)`"
+            ),
+        });
+    };
+
+    // One forward scan with a brace-depth counter. A loop body is the brace
+    // opened right after a loop keyword; bodies are kept as a stack of
+    // opening depths, so nested loops, match arms and closures inside the
+    // body all stay covered until the loop's own brace closes. `for` only
+    // arms the scan when an `in` precedes the body brace, which separates
+    // loop headers from `impl Trait for Type` and `for<'a>` bounds.
+    let mut depth = 0i64;
+    let mut loop_starts: Vec<i64> = Vec::new();
+    let mut pending_loop = false;
+    for (i, tok) in toks.iter().enumerate() {
+        match tok.kind {
+            crate::lex::TokKind::Punct('{') => {
+                depth += 1;
+                if pending_loop {
+                    loop_starts.push(depth);
+                    pending_loop = false;
+                }
+            }
+            crate::lex::TokKind::Punct('}') => {
+                if loop_starts.last() == Some(&depth) {
+                    loop_starts.pop();
+                }
+                depth -= 1;
+            }
+            crate::lex::TokKind::Ident => match tok.text.as_str() {
+                "while" | "loop" => pending_loop = true,
+                "for" => {
+                    let mut j = i + 1;
+                    while let Some(t) = toks.get(j) {
+                        if t.is_punct('{') {
+                            break;
+                        }
+                        if t.is_ident("in") {
+                            pending_loop = true;
+                            break;
+                        }
+                        j += 1;
+                    }
+                }
+                name if L015_SCALAR_DRAWS.contains(&name)
+                    && !loop_starts.is_empty()
+                    && i > 0
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|p| p.is_punct('(')) =>
+                {
+                    report(tok.line, name);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -938,5 +1031,103 @@ mod tests {
              }\n",
         )]);
         assert!(rule_findings(&sources, Rule::L014).is_empty());
+    }
+
+    // ----- L015 ------------------------------------------------------
+
+    #[test]
+    fn l015_flags_scalar_draws_in_loops() {
+        let sources = files(&[(
+            "crates/defenses/src/gc.rs",
+            "fn a(rng: &mut Rng, xs: &mut [f32]) {\n\
+                 for x in xs.iter_mut() {\n\
+                     *x += rng.normal();\n\
+                 }\n\
+             }\n\
+             fn b(rng: &mut Rng, std: f32) -> f32 {\n\
+                 let mut acc = 0.0;\n\
+                 while acc < 1.0 {\n\
+                     acc += rng.normal_with(0.0, std);\n\
+                 }\n\
+                 acc\n\
+             }\n",
+        )]);
+        let l015 = rule_findings(&sources, Rule::L015);
+        assert_eq!(l015.len(), 2, "{l015:?}");
+        assert_eq!(l015[0].line, 3);
+        assert_eq!(l015[1].line, 9);
+    }
+
+    #[test]
+    fn l015_covers_closures_inside_loop_bodies() {
+        let sources = files(&[(
+            "crates/defenses/src/sa.rs",
+            "fn mask(rng: &mut Rng, view: &mut V) {\n\
+                 for peer in 0..3 {\n\
+                     view.for_each_slice_mut(|s| {\n\
+                         s[0] = rng.normal();\n\
+                     });\n\
+                 }\n\
+             }\n",
+        )]);
+        let l015 = rule_findings(&sources, Rule::L015);
+        assert_eq!(l015.len(), 1, "{l015:?}");
+        assert_eq!(l015[0].line, 4);
+    }
+
+    #[test]
+    fn l015_ignores_bulk_fills_straight_line_draws_tests_and_allows() {
+        let sources = files(&[(
+            "crates/defenses/src/dp.rs",
+            "fn bulk(rng: &mut Rng, view: &mut V, std: f32) {\n\
+                 for _ in 0..3 {\n\
+                     view.for_each_slice_mut(|s| rng.axpy_normal(s, std));\n\
+                 }\n\
+             }\n\
+             fn once(rng: &mut Rng) -> f32 {\n\
+                 rng.normal()\n\
+             }\n\
+             fn allowed(rng: &mut Rng, xs: &mut [f32]) {\n\
+                 for x in xs.iter_mut() {\n\
+                     // lint: allow(L015, one draw per rejection round, unbounded slice size unknown)\n\
+                     *x = rng.normal();\n\
+                 }\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn t(rng: &mut Rng) {\n\
+                     for _ in 0..3 {\n\
+                         rng.normal();\n\
+                     }\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(rule_findings(&sources, Rule::L015).is_empty());
+    }
+
+    #[test]
+    fn l015_does_not_mistake_impl_for_blocks_for_loops() {
+        let sources = files(&[(
+            "crates/defenses/src/ldp.rs",
+            "impl Noise for Ldp {\n\
+                 fn draw(&mut self) -> f32 {\n\
+                     self.rng.normal()\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(rule_findings(&sources, Rule::L015).is_empty());
+    }
+
+    #[test]
+    fn l015_only_polices_defenses_and_param_plane_files() {
+        let sources = files(&[(
+            "crates/tensor/src/rng.rs",
+            "fn f(rng: &mut Rng, xs: &mut [f32]) {\n\
+                 for x in xs.iter_mut() {\n\
+                     *x = rng.normal();\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(rule_findings(&sources, Rule::L015).is_empty());
     }
 }

@@ -1,8 +1,8 @@
-//! The rule catalog: fourteen repo-specific invariants (L001–L014).
+//! The rule catalog: fifteen repo-specific invariants (L001–L015).
 //!
 //! L001–L009 are per-line rules: pure functions from preprocessed sources
-//! (or manifests) to [`Finding`]s. L010–L014 are cross-file semantic rules
-//! that run on the call-graph engine in [`crate::graph`]. Both layers are
+//! (or manifests) to [`Finding`]s. L010–L015 are cross-file/token-level
+//! semantic rules that run on the engine in [`crate::graph`]. Both layers are
 //! driven with inline fixtures by unit tests and with the real workspace by
 //! the CLI/umbrella gate.
 
@@ -48,6 +48,9 @@ pub enum Rule {
     /// Nondeterministic iteration: no arithmetic accumulation over
     /// unordered-container iteration in the deterministic crates.
     L014,
+    /// No scalar `rng.normal()`/`normal_with()` draws inside loops in the
+    /// defenses/param-plane modules: use the bulk fill API.
+    L015,
 }
 
 impl Rule {
@@ -69,6 +72,7 @@ impl Rule {
             Rule::L012 => "L012",
             Rule::L013 => "L013",
             Rule::L014 => "L014",
+            Rule::L015 => "L015",
         }
     }
 
@@ -89,6 +93,7 @@ impl Rule {
             Rule::L012 => "panic-reachability: no panics reachable from the round loop/transport",
             Rule::L013 => "lock-order: nested Mutex acquisitions must follow the global order",
             Rule::L014 => "no arithmetic accumulation over unordered-container iteration",
+            Rule::L015 => "no scalar normal() draws inside loops in defenses/param-plane code",
         }
     }
 
@@ -216,11 +221,27 @@ impl Rule {
                  Use `BTreeMap`/`BTreeSet` or a sorted `Vec`; order-independent\n\
                  accumulation can be annotated `// lint: allow(L014, reason)`."
             }
+            Rule::L015 => {
+                "L015 — no scalar normal() draws inside loops (token-level, \
+                 defenses/param-plane).\n\n\
+                 A `rng.normal()`/`normal_with()` call inside a loop walks the\n\
+                 sequential xoshiro stream one sample at a time through a scalar\n\
+                 f64 Box–Muller — roughly an order of magnitude slower per element\n\
+                 than the chunked counter-based fills, and since the defenses noise\n\
+                 every parameter in place each round, this is exactly the hot-loop\n\
+                 shape that made noise the dominant per-round defense cost. Draw\n\
+                 the whole slice at once with `Rng::axpy_normal` /\n\
+                 `Rng::fill_normal[_with]` (bit-reproducible, cache-free, and\n\
+                 counted by the `tensor.rng.samples` telemetry). A genuinely\n\
+                 scalar site (e.g. one draw per loop iteration of a small\n\
+                 fixed-count loop) can be annotated\n\
+                 `// lint: allow(L015, reason)`."
+            }
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 14] {
+    pub fn all() -> [Rule; 15] {
         [
             Rule::L001,
             Rule::L002,
@@ -236,6 +257,7 @@ impl Rule {
             Rule::L012,
             Rule::L013,
             Rule::L014,
+            Rule::L015,
         ]
     }
 

@@ -87,7 +87,15 @@ const KEYWORDS: [&str; 14] = [
     "break", "fn",
 ];
 
-const NOISE_METHODS: [&str; 4] = ["normal", "normal_with", "randn", "randn_with"];
+const NOISE_METHODS: [&str; 7] = [
+    "normal",
+    "normal_with",
+    "randn",
+    "randn_with",
+    "fill_normal",
+    "fill_normal_with",
+    "axpy_normal",
+];
 
 /// Parses one stripped file into its non-test functions with events.
 pub fn parse_file(file: &str, stripped: &Stripped) -> Vec<FnInfo> {

@@ -4,6 +4,12 @@
 //! fan-in initialization for ReLU networks (conv + ResNet/VGG/M18) and
 //! Xavier/Glorot for the Tanh fully-connected networks (Purchase100 /
 //! Texas100).
+//!
+//! Both schemes draw through the bulk tensor constructors
+//! ([`Rng::randn_with`] / [`Rng::rand_uniform`]), so model initialization
+//! rides the chunked counter-based sampler rather than scalar draws — for
+//! the paper's MLPs this is the difference between microseconds and
+//! milliseconds per model build when spawning many FL clients.
 
 use dinar_tensor::{Rng, Tensor};
 

@@ -7,8 +7,8 @@
 //! [`Telemetry`] registry under stable metric names.
 //!
 //! Kernel-work counters (`tensor.matmul.*`, `tensor.im2col.*`,
-//! `tensor.col2im.*`) are logical and thread-invariant, so they land as
-//! deterministic metrics. Pool scheduling (`tensor.pool.*`) and the
+//! `tensor.col2im.*`, `tensor.rng.*`) are logical and thread-invariant, so
+//! they land as deterministic metrics. Pool scheduling (`tensor.pool.*`) and the
 //! process-global alloc ledger (`tensor.alloc.*`) vary with the pool width
 //! and with whatever else the process runs, so they are tagged volatile.
 
@@ -28,6 +28,9 @@ pub fn record_kernel_delta(tel: &Telemetry, delta: &profile::KernelSnapshot) {
     tel.counter_add("tensor.im2col.bytes", delta.im2col_bytes);
     tel.counter_add("tensor.col2im.calls", delta.col2im_calls);
     tel.counter_add("tensor.col2im.bytes", delta.col2im_bytes);
+    // Bulk noise volume: one count per element filled, derived from the
+    // request length alone — deterministic like the other kernel counters.
+    tel.counter_add("tensor.rng.samples", delta.rng_samples);
     tel.counter_add_volatile("tensor.pool.regions", delta.pool_regions);
     tel.counter_add_volatile("tensor.pool.tasks", delta.pool_tasks);
     tel.gauge_max_volatile("tensor.pool.max_width", delta.pool_max_width as f64);
@@ -65,16 +68,19 @@ mod tests {
         let a = Tensor::ones(&[3, 4]);
         let b = Tensor::ones(&[4, 2]);
         a.matmul(&b).unwrap();
+        dinar_tensor::Rng::seed_from(0).randn(&[64]);
         record_kernel_delta(&tel, &profile::snapshot().delta_since(&before));
         let metrics = tel.metrics();
-        let calls = metrics
-            .iter()
-            .find(|m| m.name == "tensor.matmul.calls")
-            .expect("matmul calls metric");
-        assert!(!calls.volatile);
-        match calls.data {
-            MetricData::Counter(v) => assert!(v >= 1),
-            ref other => panic!("expected counter, got {other:?}"),
+        for (name, at_least) in [("tensor.matmul.calls", 1), ("tensor.rng.samples", 64)] {
+            let m = metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert!(!m.volatile, "{name} must be deterministic");
+            match m.data {
+                MetricData::Counter(v) => assert!(v >= at_least, "{name} = {v}"),
+                ref other => panic!("expected counter, got {other:?}"),
+            }
         }
         assert!(metrics
             .iter()

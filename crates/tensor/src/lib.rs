@@ -10,7 +10,10 @@
 //! * `im2col`/`col2im` lowering for 1-D and 2-D convolutions ([`conv`]),
 //! * a deterministic, splittable random number generator ([`rng::Rng`]) with
 //!   uniform and Gaussian (Box–Muller) sampling so that every experiment in
-//!   the paper's evaluation is reproducible from a seed,
+//!   the paper's evaluation is reproducible from a seed, plus a
+//!   counter-based bulk sampler ([`cbrng::CbRng`]) whose chunked
+//!   `fill_uniform`/`fill_normal` paths make per-round noise draws cheap
+//!   without giving up bit-exact reproducibility,
 //! * live/peak allocation accounting ([`alloc`]) used to reproduce the
 //!   memory-overhead column of Table 3 without a GPU.
 //!
@@ -31,15 +34,18 @@
 
 pub mod alloc;
 pub mod cast;
+pub mod cbrng;
 pub mod conv;
 mod error;
 pub mod json;
+mod kernels;
 pub mod par;
 pub mod profile;
 pub mod rng;
 pub mod sanitize;
 mod tensor;
 
+pub use cbrng::CbRng;
 pub use error::TensorError;
 pub use rng::Rng;
 pub use tensor::Tensor;

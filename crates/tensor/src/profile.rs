@@ -35,6 +35,7 @@ static POOL_MAX_WIDTH: AtomicU64 = AtomicU64::new(0);
 static PARAM_COPY_CALLS: AtomicU64 = AtomicU64::new(0);
 static PARAM_COPY_BYTES: AtomicU64 = AtomicU64::new(0);
 static PARAM_SHARE_CALLS: AtomicU64 = AtomicU64::new(0);
+static RNG_SAMPLES: AtomicU64 = AtomicU64::new(0);
 
 /// Record a matmul-family call over an `[m, k] x [k, n]` problem
 /// (`2 * m * k * n` flops, the standard multiply-add count).
@@ -75,6 +76,15 @@ pub(crate) fn record_buffer_copy(bytes: u64) {
 /// Record an O(1) share of a tensor buffer (a clone that duplicated nothing).
 pub(crate) fn record_buffer_share() {
     PARAM_SHARE_CALLS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record `n` bulk RNG samples (one per element filled). Counted per
+/// logical fill on the calling thread from the request length alone, so —
+/// like the other kernel counters — the value is pool-width independent;
+/// scalar draws are deliberately not counted (they are not kernel work, and
+/// instrumenting them would put an atomic on a one-sample path).
+pub(crate) fn record_rng_samples(n: usize) {
+    RNG_SAMPLES.fetch_add(n as u64, Ordering::Relaxed);
 }
 
 /// A point-in-time copy of the parameter-plane counters.
@@ -137,6 +147,9 @@ pub struct KernelSnapshot {
     pub pool_tasks: u64,
     /// Widest single fan-out observed. **Volatile**.
     pub pool_max_width: u64,
+    /// Bulk RNG samples drawn (`fill_uniform` / `fill_normal` /
+    /// `axpy_normal` elements) — the per-round noise volume.
+    pub rng_samples: u64,
 }
 
 impl KernelSnapshot {
@@ -154,6 +167,7 @@ impl KernelSnapshot {
             pool_tasks: self.pool_tasks.saturating_sub(earlier.pool_tasks),
             // A high-water mark, not a sum: the delta keeps the later value.
             pool_max_width: self.pool_max_width,
+            rng_samples: self.rng_samples.saturating_sub(earlier.rng_samples),
         }
     }
 }
@@ -170,6 +184,7 @@ pub fn snapshot() -> KernelSnapshot {
         pool_regions: POOL_REGIONS.load(Ordering::Relaxed),
         pool_tasks: POOL_TASKS.load(Ordering::Relaxed),
         pool_max_width: POOL_MAX_WIDTH.load(Ordering::Relaxed),
+        rng_samples: RNG_SAMPLES.load(Ordering::Relaxed),
     }
 }
 
@@ -188,6 +203,7 @@ pub fn reset() {
     PARAM_COPY_CALLS.store(0, Ordering::Relaxed);
     PARAM_COPY_BYTES.store(0, Ordering::Relaxed);
     PARAM_SHARE_CALLS.store(0, Ordering::Relaxed);
+    RNG_SAMPLES.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

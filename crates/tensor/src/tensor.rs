@@ -9,104 +9,7 @@ const PAR_MIN_FLOPS: usize = 32 * 1024;
 /// Minimum element count before an elementwise op fans out to the pool.
 const PAR_MIN_ELEMS: usize = 16 * 1024;
 
-/// Accumulating (axpy-style) kernel for a block of output rows, shared by
-/// [`Tensor::matmul`] (`a` row-major: stride `k`,1) and [`Tensor::t_matmul`]
-/// (`a` column-major view: stride 1,`m`).
-///
-/// Rows are processed four at a time so each streamed `b` row is reused
-/// across four accumulator rows (register blocking); every output element
-/// still accumulates its `k` products in ascending-`p` order, which keeps
-/// results bit-identical to the straightforward triple loop and independent
-/// of where the parallel partition boundary falls.
-fn axpy_row_block(
-    out_rows: &mut [f32],
-    i0: usize,
-    a: &[f32],
-    a_row_stride: usize,
-    a_col_stride: usize,
-    b: &[f32],
-    k: usize,
-    n: usize,
-) {
-    let mut rest = out_rows;
-    let mut i = i0;
-    while rest.len() >= 4 * n && n > 0 {
-        let (r0, tail) = rest.split_at_mut(n);
-        let (r1, tail) = tail.split_at_mut(n);
-        let (r2, tail) = tail.split_at_mut(n);
-        let (r3, tail) = tail.split_at_mut(n);
-        rest = tail;
-        for p in 0..k {
-            let b_row = &b[p * n..(p + 1) * n];
-            let c0 = a[i * a_row_stride + p * a_col_stride];
-            let c1 = a[(i + 1) * a_row_stride + p * a_col_stride];
-            let c2 = a[(i + 2) * a_row_stride + p * a_col_stride];
-            let c3 = a[(i + 3) * a_row_stride + p * a_col_stride];
-            for (j, &bv) in b_row.iter().enumerate() {
-                r0[j] += c0 * bv;
-                r1[j] += c1 * bv;
-                r2[j] += c2 * bv;
-                r3[j] += c3 * bv;
-            }
-        }
-        i += 4;
-    }
-    while !rest.is_empty() && n > 0 {
-        let (r0, tail) = rest.split_at_mut(n);
-        rest = tail;
-        for p in 0..k {
-            let c0 = a[i * a_row_stride + p * a_col_stride];
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in r0.iter_mut().zip(b_row) {
-                *o += c0 * bv;
-            }
-        }
-        i += 1;
-    }
-}
-
-/// Dot-product kernel for a block of output rows of [`Tensor::matmul_t`]
-/// (`a` is `[m, k]`, `b` is `[n, k]`, both reduced along their contiguous
-/// axis). Columns are processed four at a time so each streamed `a` row is
-/// reused across four accumulators; each output element reduces in
-/// ascending-`p` order exactly like the naive loop.
-fn dot_row_block(out_rows: &mut [f32], i0: usize, a: &[f32], b: &[f32], k: usize, n: usize) {
-    for (local, out_row) in out_rows.chunks_exact_mut(n).enumerate() {
-        let i = i0 + local;
-        let a_row = &a[i * k..(i + 1) * k];
-        let mut j = 0;
-        while j + 4 <= n {
-            let b0 = &b[j * k..(j + 1) * k];
-            let b1 = &b[(j + 1) * k..(j + 2) * k];
-            let b2 = &b[(j + 2) * k..(j + 3) * k];
-            let b3 = &b[(j + 3) * k..(j + 4) * k];
-            let mut s0 = 0.0f32;
-            let mut s1 = 0.0f32;
-            let mut s2 = 0.0f32;
-            let mut s3 = 0.0f32;
-            for (p, &av) in a_row.iter().enumerate() {
-                s0 += av * b0[p];
-                s1 += av * b1[p];
-                s2 += av * b2[p];
-                s3 += av * b3[p];
-            }
-            out_row[j] = s0;
-            out_row[j + 1] = s1;
-            out_row[j + 2] = s2;
-            out_row[j + 3] = s3;
-            j += 4;
-        }
-        while j < n {
-            let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            out_row[j] = acc;
-            j += 1;
-        }
-    }
-}
+use crate::kernels::{axpy_row_block, dot_row_block};
 
 /// Minimum rows per parallel part so each part clears [`PAR_MIN_FLOPS`]
 /// multiply-adds (`k * n` per row).
@@ -792,9 +695,11 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors.
     ///
-    /// Cache-blocked axpy kernel (i-k-j order, four output rows per block)
-    /// parallelized over output-row ranges on the [`par`] pool; results are
-    /// bit-identical for any thread count (see [`par`] module docs).
+    /// Register-blocked FMA microkernel (see [`crate::kernels`]) behind a
+    /// driver that parallelizes over output-row ranges on the [`par`] pool;
+    /// every output element is one serial ascending-`p` `mul_add` chain, so
+    /// results are bit-identical for any thread count and partition (see
+    /// [`par`] module docs).
     ///
     /// # Errors
     ///

@@ -1,0 +1,103 @@
+//! Perf ratchet for the tensor hot kernels: the committed
+//! `bench-results/BENCH_tensor.json` must keep showing the speedups the
+//! bulk-sampling + microkernel rewrite bought, measured against the
+//! pre-rewrite numbers frozen below.
+//!
+//! Like `tests/param_plane.rs`, this ratchets the committed artifact rather
+//! than timing inside the test — test-process timing is too noisy to gate
+//! on, while the artifact is regenerated deliberately (single-threaded:
+//! `DINAR_THREADS=1 cargo run --release -p dinar-bench --bin bench_tensor`)
+//! and reviewed when committed. The reference constants are *not* read from
+//! `BENCH_tensor_baseline.json` on purpose: that file tracks the current
+//! accepted single-thread numbers and moves forward over time, whereas the
+//! denominators here are the pre-rewrite scalar implementations and must
+//! stay frozen for the ratchet to mean anything.
+
+use dinar_tensor::json::Json;
+use std::path::Path;
+
+/// `randn(&[100_000])`, scalar Box–Muller through `gauss_cache`, one draw
+/// per element (single thread, this repo's reference runner).
+const PRE_REWRITE_RANDN_100K_NS: f64 = 1_900_000.0;
+/// 128×128×128 `matmul`, cache-blocked loops without the register-blocked
+/// FMA microkernel (single thread, same runner).
+const PRE_REWRITE_MATMUL_128_NS: f64 = 285_970.0;
+
+fn load_entries(path: &Path) -> Vec<(String, String, f64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "{} must be committed (regenerate with `DINAR_THREADS=1 cargo run \
+             --release -p dinar-bench --bin bench_tensor`): {e}",
+            path.display()
+        )
+    });
+    let json = Json::parse(&text).expect("committed bench report parses");
+    json.get("entries")
+        .and_then(Json::as_arr)
+        .expect("report has entries")
+        .iter()
+        .map(|row| {
+            let field = |k: &str| {
+                row.get(k)
+                    .and_then(Json::as_str)
+                    .unwrap_or_else(|| panic!("row missing {k}"))
+                    .to_string()
+            };
+            let ns = row
+                .get("ns_per_iter")
+                .and_then(Json::as_f64)
+                .expect("row has ns_per_iter");
+            (field("op"), field("size"), ns)
+        })
+        .collect()
+}
+
+fn ns_for(entries: &[(String, String, f64)], op: &str, size: &str) -> f64 {
+    entries
+        .iter()
+        .find(|(o, s, _)| o == op && s == size)
+        .unwrap_or_else(|| panic!("BENCH_tensor.json has no {op}/{size} row"))
+        .2
+}
+
+#[test]
+fn bulk_sampler_holds_4x_over_scalar_draws() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let entries = load_entries(&root.join("bench-results/BENCH_tensor.json"));
+    let ns = ns_for(&entries, "randn", "100k");
+    assert!(
+        ns * 4.0 <= PRE_REWRITE_RANDN_100K_NS,
+        "randn 100k at {ns:.0} ns/iter is not ≥4× under the pre-rewrite \
+         {PRE_REWRITE_RANDN_100K_NS:.0} ns/iter"
+    );
+}
+
+#[test]
+fn microkernel_matmul_holds_2x_over_blocked_loops() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let entries = load_entries(&root.join("bench-results/BENCH_tensor.json"));
+    let ns = ns_for(&entries, "matmul", "128x128x128");
+    assert!(
+        ns * 2.0 <= PRE_REWRITE_MATMUL_128_NS,
+        "matmul 128³ at {ns:.0} ns/iter is not ≥2× under the pre-rewrite \
+         {PRE_REWRITE_MATMUL_128_NS:.0} ns/iter"
+    );
+}
+
+#[test]
+fn sampler_rows_cover_the_allocation_free_paths() {
+    // The suite must keep reporting the allocation-free sampler entry
+    // points; their per-element cost is what the defenses actually pay.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let entries = load_entries(&root.join("bench-results/BENCH_tensor.json"));
+    for op in ["randn_into", "fill_normal"] {
+        let ns = ns_for(&entries, op, "100k");
+        assert!(ns > 0.0, "{op} row is empty");
+        // Sanity bound, not a ratchet: 10 ns/element leaves 2–3× headroom
+        // over the measured ~3.5 ns/element without flaking across runners.
+        assert!(
+            ns <= 1_000_000.0,
+            "{op} 100k at {ns:.0} ns/iter exceeds 10 ns/element"
+        );
+    }
+}

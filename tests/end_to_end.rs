@@ -36,7 +36,7 @@ fn run_pipeline(with_dinar: bool) -> PipelineResult {
     let mut builder = FlSystem::builder(FlConfig {
         local_epochs: 5,
         batch_size: 64,
-        seed: 5,
+        seed: 6,
     })
     .clients_from_shards(shards, arch, |_| Box::new(Adagrad::new(0.05)))
     .expect("clients built");

@@ -74,13 +74,14 @@ fn no_param_clone_in_param_plane_at_all() {
 
 #[test]
 fn semantic_rules_stay_at_zero() {
-    // L010–L014 run on the call-graph engine and start — and must stay —
+    // L010–L015 run on the call-graph engine and start — and must stay —
     // at zero; they guard the invariants the paper's correctness rests on:
     //   L010  clip-then-noise ordering (the DP sensitivity bound)
     //   L011  every RNG stream derives from plumbed config
     //   L012  no panic reachable from the round loop / transport
     //   L013  one global Mutex acquisition order
     //   L014  no float accumulation over unordered iteration
+    //   L015  no scalar normal() draws inside loops (use the bulk fills)
     use dinar_lint::rules::Rule;
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let (findings, _) = dinar_lint::check_against_baseline(root).expect("lint pass should run");
@@ -89,7 +90,12 @@ fn semantic_rules_stay_at_zero() {
         .filter(|f| {
             matches!(
                 f.rule,
-                Rule::L010 | Rule::L011 | Rule::L012 | Rule::L013 | Rule::L014
+                Rule::L010
+                    | Rule::L011
+                    | Rule::L012
+                    | Rule::L013
+                    | Rule::L014
+                    | Rule::L015
             )
         })
         .collect();
