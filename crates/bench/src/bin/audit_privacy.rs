@@ -1,0 +1,148 @@
+//! Privacy-budget audit over the full defense lineup: records
+//! `bench-results/AUDIT_privacy.json`.
+//!
+//! Every defense column of the paper's evaluation trains once on a small
+//! Purchase100-mini environment with an enabled telemetry sink attached, so
+//! each defense transform charges the privacy ledger exactly as it does in
+//! the figure/table runs. The artifact then carries one composed
+//! (ε, δ) report per defense:
+//!
+//! * the DP family spends real budget — WDP charges its inverted-mechanism
+//!   per-upload ε, CDP its per-noised-round server ε, and LDP (realized as
+//!   DP-SGD in the optimizer) its per-step amortized ε — so each must show
+//!   a **nonzero** composed ε;
+//! * SA and GC charge explicit zero-cost entries, so their accounts appear
+//!   with `charges > 0` and composed ε **exactly 0** — the audit
+//!   distinguishes "spends nothing" from "forgot to report" (lint rule
+//!   L016 guards the source side of the same contract);
+//! * undefended FL and DINAR register no accounts at all: nothing in those
+//!   pipelines touches member data through a randomized mechanism.
+//!
+//! The binary self-checks those three invariants and exits nonzero on any
+//! violation, making it the executable form of the audit acceptance bar.
+//!
+//! ```text
+//! cargo run --release -p dinar-bench --bin audit_privacy
+//! ```
+//!
+//! The ledger is deterministic (BTreeMap accounts, pure arithmetic), so the
+//! report is byte-identical across runs and pool widths.
+
+use dinar_bench::harness::{prepare_training_only, train_defense_with_telemetry, Defense, ExperimentSpec};
+use dinar_bench::report::{table, write_json};
+use dinar_data::catalog::{self, Profile};
+use dinar_tensor::json::{Json, ToJson};
+use dinar_telemetry::Telemetry;
+
+/// Defense labels whose ledger must show a strictly positive composed ε.
+const DP_FAMILY: [&str; 3] = ["WDP", "LDP", "CDP"];
+/// Defense labels whose ledger must show explicit zero-cost accounts.
+const ZERO_COST: [&str; 2] = ["GC", "SA"];
+
+struct DefenseAudit {
+    label: String,
+    accounts: usize,
+    charges: u64,
+    max_eps_composed: f64,
+    report: Json,
+}
+
+fn audit_defense(
+    env: &dinar_bench::harness::Environment,
+    defense: &Defense,
+) -> Result<DefenseAudit, Box<dyn std::error::Error>> {
+    let telemetry = Telemetry::new();
+    train_defense_with_telemetry(env, defense, &telemetry)?;
+    let accounts = telemetry.privacy_accounts();
+    Ok(DefenseAudit {
+        label: defense.label(),
+        accounts: accounts.len(),
+        charges: accounts.iter().map(|a| a.charges).sum(),
+        max_eps_composed: accounts.iter().map(|a| a.eps_composed).fold(0.0, f64::max),
+        report: telemetry.privacy_report(),
+    })
+}
+
+fn check(audits: &[DefenseAudit]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let find = |label: &str| audits.iter().find(|a| a.label == label);
+    for label in DP_FAMILY {
+        match find(label) {
+            Some(a) if a.max_eps_composed > 0.0 => {}
+            Some(a) => problems.push(format!(
+                "{label}: composed ε is {} but a DP defense must spend budget",
+                a.max_eps_composed
+            )),
+            None => problems.push(format!("{label}: missing from the lineup")),
+        }
+    }
+    for label in ZERO_COST {
+        match find(label) {
+            Some(a) if a.charges > 0 && a.max_eps_composed == 0.0 => {}
+            Some(a) => problems.push(format!(
+                "{label}: expected explicit zero-cost entries, got {} charges \
+                 with max composed ε {}",
+                a.charges, a.max_eps_composed
+            )),
+            None => problems.push(format!("{label}: missing from the lineup")),
+        }
+    }
+    problems
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A shrunk Purchase100-mini spec: the ledger semantics are identical to
+    // the full table runs (same middleware, same charge sites), only the
+    // round/client counts are scaled down so the audit regenerates quickly.
+    let mut spec = ExperimentSpec::mini_default(catalog::purchase100(Profile::Mini));
+    spec.clients = 4;
+    spec.rounds = 3;
+    spec.local_epochs = 1;
+    let env = prepare_training_only(spec)?;
+
+    let mut audits = Vec::new();
+    for defense in Defense::lineup(env.dinar_layer) {
+        audits.push(audit_defense(&env, &defense)?);
+    }
+
+    let cells: Vec<Vec<String>> = audits
+        .iter()
+        .map(|a| {
+            vec![
+                a.label.clone(),
+                a.accounts.to_string(),
+                a.charges.to_string(),
+                format!("{:.4}", a.max_eps_composed),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(&["defense", "accounts", "charges", "max_eps_composed"], &cells)
+    );
+
+    let defenses: Vec<Json> = audits
+        .iter()
+        .map(|a| {
+            Json::obj([
+                ("defense", a.label.to_json()),
+                ("ledger", a.report.clone()),
+            ])
+        })
+        .collect();
+    let doc = Json::obj([
+        ("dataset", env.spec.entry.name().to_json()),
+        ("clients", env.spec.clients.to_json()),
+        ("rounds", env.spec.rounds.to_json()),
+        ("local_epochs", env.spec.local_epochs.to_json()),
+        ("defenses", Json::Arr(defenses)),
+    ]);
+    let path = write_json("AUDIT_privacy", &doc)?;
+    println!("wrote {}", path.display());
+
+    let problems = check(&audits);
+    if !problems.is_empty() {
+        return Err(format!("privacy audit failed:\n  {}", problems.join("\n  ")).into());
+    }
+    Ok(())
+}

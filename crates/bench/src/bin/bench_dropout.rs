@@ -38,6 +38,12 @@ const RATES: [f64; 5] = [0.0, 0.1, 0.2, 0.3, 0.5];
 
 struct DropoutRow {
     rate: f64,
+    /// Seed behind the generated fault schedule — with (clients, rounds,
+    /// rate) it reconstructs the exact dropout pattern this row measured.
+    fault_seed: Option<u64>,
+    /// Round deadline in milliseconds (`null` = no deadline; dropout
+    /// faults are explicit notices, so no timeout is needed).
+    deadline_ms: Option<u64>,
     rounds: usize,
     updates_aggregated: usize,
     uploads_lost: usize,
@@ -47,6 +53,8 @@ struct DropoutRow {
 
 impl_to_json!(DropoutRow {
     rate,
+    fault_seed,
+    deadline_ms,
     rounds,
     updates_aggregated,
     uploads_lost,
@@ -69,13 +77,17 @@ fn run_rate(rate: f64) -> Result<DropoutRow, Box<dyn std::error::Error>> {
     .build()?;
 
     let plan = FaultPlan::seeded_dropout(13, CLIENTS, ROUNDS, rate);
+    let fault_seed = plan.seed();
     let policy = RoundPolicy::with_quorum(Quorum::AtLeast(1), None).with_faults(plan);
+    let deadline_ms = policy.deadline.map(|d| d.as_millis() as u64);
     let run = run_threaded_resilient(system, ROUNDS, Arc::new(WallClock::new()), policy)?;
 
     let mut template = models::mlp(&[600, 64, 100], Activation::ReLU, &mut rng)?;
     let accuracy = accuracy_of_params(run.system.global_params(), &mut template, &test)?;
     Ok(DropoutRow {
         rate,
+        fault_seed,
+        deadline_ms,
         rounds: run.reports.len(),
         updates_aggregated: run.fault_stats.iter().map(|s| s.participants).sum(),
         uploads_lost: run.fault_stats.iter().map(|s| s.clients_dropped).sum(),
@@ -104,6 +116,7 @@ fn main() {
         .map(|r| {
             vec![
                 format!("{:.1}", r.rate),
+                r.fault_seed.map_or("-".into(), |s| s.to_string()),
                 r.rounds.to_string(),
                 r.updates_aggregated.to_string(),
                 r.uploads_lost.to_string(),
@@ -115,7 +128,7 @@ fn main() {
     println!(
         "{}",
         table(
-            &["rate", "rounds", "updates", "lost", "final_loss", "acc_%"],
+            &["rate", "seed", "rounds", "updates", "lost", "final_loss", "acc_%"],
             &cells
         )
     );

@@ -11,8 +11,14 @@
 //!   account for where the time went, not just that it passed);
 //! * `bit_identical` — the global model of the instrumented run matches an
 //!   uninstrumented rerun bit for bit (observation must not perturb).
+//!
+//! The same sink also records an instrumented DINAR initialization vote
+//! (`dinar-consensus`), so the coverage gate spans both the FL engine and
+//! the consensus layer — a consensus phase that stops reporting where its
+//! time goes fails the same ≥ 0.95 bar as a training phase.
 
 use dinar_bench::report;
+use dinar_consensus::network::{simulate_vote_with_telemetry, NodeBehavior, SimConfig};
 use dinar_data::catalog::{self, Profile};
 use dinar_data::partition::{partition_dataset, Distribution};
 use dinar_fl::{FlConfig, FlSystem};
@@ -59,6 +65,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     system.set_telemetry(tel.clone());
     system.run(ROUNDS)?;
     let instrumented = global_bits(&system);
+
+    // Consensus layer under the same sink: a mixed honest/Byzantine vote,
+    // sized like the DINAR initialization round.
+    let mut behaviors = vec![NodeBehavior::Honest { proposal: 1 }; 4];
+    behaviors.push(NodeBehavior::byzantine_random());
+    simulate_vote_with_telemetry(
+        &behaviors,
+        &SimConfig {
+            num_choices: 4,
+            seed: 11,
+        },
+        &tel,
+    )?;
 
     // Uninstrumented rerun from the same seeds: observation must be free.
     let mut baseline = build_system()?;

@@ -251,6 +251,45 @@ pub fn prepare(spec: ExperimentSpec) -> Result<Environment, Box<dyn std::error::
     })
 }
 
+/// Prepares a training-only environment: data, splits and shards as in
+/// [`prepare`], but with an *unfitted* shadow attack and no sensitivity
+/// probe. Sufficient for [`train_defense`] (which never touches the
+/// attack) and orders of magnitude cheaper, so audit and overhead
+/// binaries can train the full defense lineup quickly; calling
+/// [`evaluate_run`] on such an environment is an error.
+///
+/// # Errors
+///
+/// Propagates data-generation and partitioning errors.
+pub fn prepare_training_only(
+    spec: ExperimentSpec,
+) -> Result<Environment, Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(spec.seed);
+    let dataset = spec.entry.generate(&mut rng)?;
+    let split = attack_split(&dataset, &mut rng)?;
+    let shards = partition_dataset(&split.train, spec.clients, spec.distribution, &mut rng)?;
+    let attack = ShadowAttack::new(ShadowConfig {
+        num_shadows: 1,
+        shadow_epochs: 1,
+        batch_size: spec.batch_size,
+        lr: spec.baseline_opt.1,
+        optimizer: spec.baseline_opt.0,
+        attack_epochs: 1,
+        seed: spec.seed ^ 0xA77A,
+    });
+    let dinar_layer = model_for(&spec.entry, &mut rng)?
+        .num_trainable_layers()
+        .saturating_sub(2);
+    Ok(Environment {
+        spec,
+        split,
+        shards,
+        attack,
+        dinar_layer,
+        sensitivity_argmax: dinar_layer,
+    })
+}
+
 /// The measured outcome of one (dataset, defense) run — one cell of the
 /// paper's evaluation.
 #[derive(Debug, Clone)]
@@ -314,12 +353,55 @@ pub struct TrainedRun {
 /// trained system for further inspection (loss distributions, per-layer
 /// experiments).
 ///
+/// Opt-in profiling: setting `DINAR_PROFILE=1` attaches a fresh telemetry
+/// sink for the training run and prints the span summary tree and the
+/// privacy-ledger report to stderr afterwards, so any figure/table binary
+/// can be profiled without a rebuild. For programmatic access to the sink
+/// (audit artifacts, overhead benches) use
+/// [`train_defense_with_telemetry`] directly.
+///
 /// # Errors
 ///
 /// Propagates FL and middleware errors.
 pub fn train_defense(
     env: &Environment,
     defense: &Defense,
+) -> Result<TrainedRun, Box<dyn std::error::Error>> {
+    let profiling = std::env::var_os("DINAR_PROFILE").is_some();
+    let telemetry = if profiling {
+        dinar_telemetry::Telemetry::new()
+    } else {
+        dinar_telemetry::Telemetry::disabled()
+    };
+    let run = train_defense_with_telemetry(env, defense, &telemetry)?;
+    if profiling {
+        eprintln!(
+            "DINAR_PROFILE [{} / {}]:\n{}",
+            env.spec.entry.name(),
+            defense.label(),
+            dinar_telemetry::export::summary_tree(&telemetry)
+        );
+        eprintln!("privacy ledger: {}", telemetry.privacy_report().dump());
+    }
+    Ok(run)
+}
+
+/// [`train_defense`] with a caller-supplied telemetry sink.
+///
+/// When `telemetry` is enabled it is attached to every client, optimizer
+/// and middleware before training (so defense transforms charge the
+/// privacy ledger and spans/metrics record), the flight recorder is armed,
+/// and after the run the Perfetto trace is written if `DINAR_TRACE` names
+/// a path. A [`Telemetry::disabled`] sink makes this identical to an
+/// unobserved run.
+///
+/// # Errors
+///
+/// Propagates FL and middleware errors.
+pub fn train_defense_with_telemetry(
+    env: &Environment,
+    defense: &Defense,
+    telemetry: &dinar_telemetry::Telemetry,
 ) -> Result<TrainedRun, Box<dyn std::error::Error>> {
     let spec = &env.spec;
     let entry = spec.entry.clone();
@@ -415,21 +497,13 @@ pub fn train_defense(
     }
 
     let mut system = builder.build()?;
-    // Opt-in profiling: DINAR_PROFILE=1 attaches a telemetry sink for the
-    // training run and prints the span summary tree to stderr afterwards,
-    // so any figure/table binary can be profiled without a rebuild.
-    let profiling = std::env::var_os("DINAR_PROFILE").is_some();
-    if profiling {
-        system.set_telemetry(dinar_telemetry::Telemetry::new());
+    if telemetry.is_enabled() {
+        telemetry.flight_arm();
+        system.set_telemetry(telemetry.clone()); // lint: allow(L009, telemetry handle, not params)
     }
     let reports = system.run(spec.rounds)?;
-    if profiling {
-        eprintln!(
-            "DINAR_PROFILE [{} / {}]:\n{}",
-            spec.entry.name(),
-            defense.label(),
-            dinar_telemetry::export::summary_tree(system.telemetry())
-        );
+    if telemetry.is_enabled() {
+        dinar_telemetry::export::write_trace_if_requested(telemetry);
     }
     let cost = CostSample {
         client_train_s: reports.iter().map(|r| r.cost.client_train_s).sum::<f64>()

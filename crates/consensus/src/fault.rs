@@ -74,6 +74,10 @@ pub enum FaultKind {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     faults: BTreeMap<(usize, usize), FaultKind>,
+    /// The seed behind a generated plan ([`FaultPlan::seeded_dropout`]);
+    /// `None` for hand-built plans. Carried so benchmark rows and audit
+    /// artifacts can name the exact schedule that produced them.
+    seed: Option<u64>,
 }
 
 impl FaultPlan {
@@ -117,6 +121,13 @@ impl FaultPlan {
     /// The fault scheduled for `node` at `round`, if any.
     pub fn action(&self, node: usize, round: usize) -> Option<FaultKind> {
         self.faults.get(&(node, round)).copied()
+    }
+
+    /// The seed this plan was generated from, when it came from a seeded
+    /// generator like [`FaultPlan::seeded_dropout`] — `None` for hand-built
+    /// plans. Lets telemetry make fault-injected runs self-describing.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
     }
 
     /// `true` if no faults are scheduled.
@@ -164,6 +175,7 @@ impl FaultPlan {
                 }
             }
         }
+        plan.seed = Some(seed);
         plan
     }
 }
@@ -212,6 +224,12 @@ mod tests {
         assert_eq!(a, b);
         let c = FaultPlan::seeded_dropout(8, 10, 20, 0.3);
         assert_ne!(a, c, "different seeds should differ at rate 0.3");
+    }
+
+    #[test]
+    fn seeded_plans_carry_their_seed_and_built_plans_do_not() {
+        assert_eq!(FaultPlan::seeded_dropout(7, 10, 20, 0.3).seed(), Some(7));
+        assert_eq!(FaultPlan::new().crash(0, 1).seed(), None);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use crate::fault::{splitmix, FaultKind, FaultPlan};
 use crate::{ConsensusError, Result};
+use dinar_telemetry::Telemetry;
 
 /// A node's gossip state: its current candidate and conviction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +92,43 @@ fn interact(a: GossipState, b: GossipState) -> (GossipState, GossipState) {
 /// Returns [`ConsensusError::InvalidConfig`] for fewer than two nodes or
 /// out-of-range proposals.
 pub fn gossip_vote(
+    proposals: &[usize],
+    num_choices: usize,
+    max_interactions: u64,
+    seed: u64,
+) -> Result<GossipOutcome> {
+    gossip_vote_with_telemetry(
+        proposals,
+        num_choices,
+        max_interactions,
+        seed,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`gossip_vote`] under an attached telemetry sink: the run executes inside
+/// a `consensus.gossip` span and reports the deterministic
+/// `consensus.gossip.*` counters — runs, interactions spent, converged runs.
+/// The schedule is a pure function of `(proposals, seed)`, so the counters
+/// replay bit-identically.
+///
+/// # Errors
+///
+/// Same conditions as [`gossip_vote`].
+pub fn gossip_vote_with_telemetry(
+    proposals: &[usize],
+    num_choices: usize,
+    max_interactions: u64,
+    seed: u64,
+    telemetry: &Telemetry,
+) -> Result<GossipOutcome> {
+    let _span = telemetry.span("consensus.gossip");
+    let outcome = gossip_core(proposals, num_choices, max_interactions, seed)?;
+    record_gossip_telemetry(telemetry, &outcome);
+    Ok(outcome)
+}
+
+fn gossip_core(
     proposals: &[usize],
     num_choices: usize,
     max_interactions: u64,
@@ -171,6 +209,51 @@ pub fn gossip_vote_under_churn(
     seed: u64,
     plan: &FaultPlan,
 ) -> Result<GossipOutcome> {
+    gossip_vote_under_churn_with_telemetry(
+        proposals,
+        num_choices,
+        max_interactions,
+        seed,
+        plan,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`gossip_vote_under_churn`] under an attached telemetry sink: the
+/// `consensus.gossip` span and counters of
+/// [`gossip_vote_with_telemetry`], plus a `consensus.gossip.crashed`
+/// counter for the nodes the plan removed.
+///
+/// # Errors
+///
+/// Same conditions as [`gossip_vote_under_churn`].
+pub fn gossip_vote_under_churn_with_telemetry(
+    proposals: &[usize],
+    num_choices: usize,
+    max_interactions: u64,
+    seed: u64,
+    plan: &FaultPlan,
+    telemetry: &Telemetry,
+) -> Result<GossipOutcome> {
+    let _span = telemetry.span("consensus.gossip");
+    let outcome = churn_core(proposals, num_choices, max_interactions, seed, plan)?;
+    record_gossip_telemetry(telemetry, &outcome);
+    telemetry.counter_add(
+        "consensus.gossip.crashed",
+        plan.iter()
+            .filter(|&(_, _, k)| k == FaultKind::Crash)
+            .count() as u64,
+    );
+    Ok(outcome)
+}
+
+fn churn_core(
+    proposals: &[usize],
+    num_choices: usize,
+    max_interactions: u64,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<GossipOutcome> {
     if proposals.len() < 2 {
         return Err(ConsensusError::InvalidConfig {
             reason: "gossip needs at least two nodes".into(),
@@ -237,6 +320,17 @@ pub fn gossip_vote_under_churn(
         interactions,
         converged,
     })
+}
+
+/// Deterministic gossip counters: every value is a pure function of the
+/// run's inputs, so the metrics replay bit-identically.
+fn record_gossip_telemetry(telemetry: &Telemetry, outcome: &GossipOutcome) {
+    telemetry.counter_add("consensus.gossip.runs", 1);
+    telemetry.counter_add("consensus.gossip.interactions", outcome.interactions);
+    telemetry.counter_add(
+        "consensus.gossip.converged",
+        u64::from(outcome.converged),
+    );
 }
 
 #[cfg(test)]
@@ -349,6 +443,33 @@ mod tests {
     fn invalid_inputs_rejected() {
         assert!(gossip_vote(&[1], 3, 100, 0).is_err());
         assert!(gossip_vote(&[1, 5], 3, 100, 0).is_err());
+    }
+
+    #[test]
+    fn instrumented_gossip_emits_span_and_counters() {
+        use dinar_telemetry::{ManualClock, Telemetry};
+        use std::sync::Arc;
+        let telemetry = Telemetry::with_clock(Arc::new(ManualClock::new()));
+        let outcome =
+            gossip_vote_with_telemetry(&[2; 10], 5, 1_000, 1, &telemetry).unwrap();
+        assert!(outcome.converged);
+        assert!(telemetry
+            .spans()
+            .iter()
+            .any(|s| s.path == "consensus.gossip"));
+        assert_eq!(telemetry.counter_value("consensus.gossip.runs"), 1);
+        assert_eq!(
+            telemetry.counter_value("consensus.gossip.interactions"),
+            outcome.interactions
+        );
+        assert_eq!(telemetry.counter_value("consensus.gossip.converged"), 1);
+
+        // The churn variant adds the crash count from the plan.
+        let plan = FaultPlan::new().crash(0, 1).crash(1, 2);
+        gossip_vote_under_churn_with_telemetry(&[0, 1, 2, 2], 3, 1_000, 3, &plan, &telemetry)
+            .unwrap();
+        assert_eq!(telemetry.counter_value("consensus.gossip.runs"), 2);
+        assert_eq!(telemetry.counter_value("consensus.gossip.crashed"), 2);
     }
 
     #[test]

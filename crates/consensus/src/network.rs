@@ -17,6 +17,7 @@
 //! depend only on the config, never on scheduling.
 
 use crate::{vote, ConsensusError, Result};
+use dinar_telemetry::Telemetry;
 use dinar_tensor::par;
 
 /// A vote message broadcast between nodes.
@@ -164,6 +165,23 @@ fn outbox(i: usize, behavior: NodeBehavior, n: usize, config: &SimConfig) -> Vec
 /// Returns [`ConsensusError::InvalidConfig`] for zero nodes/choices or an
 /// out-of-range honest proposal.
 pub fn simulate_vote(behaviors: &[NodeBehavior], config: &SimConfig) -> Result<VoteOutcome> {
+    simulate_vote_with_telemetry(behaviors, config, &Telemetry::disabled())
+}
+
+/// [`simulate_vote`] under an attached telemetry sink: the round emits a
+/// `consensus.vote` span with `broadcast`/`deliver`/`decide` children (the
+/// fan-outs are pool barriers, so the phase spans nest correctly on the
+/// calling thread) plus the deterministic `consensus.vote.*` counters —
+/// nodes, messages sent, honest decisions reached.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_vote`].
+pub fn simulate_vote_with_telemetry(
+    behaviors: &[NodeBehavior],
+    config: &SimConfig,
+    telemetry: &Telemetry,
+) -> Result<VoteOutcome> {
     let n = behaviors.len();
     if n == 0 {
         return Err(ConsensusError::InvalidConfig {
@@ -188,27 +206,36 @@ pub fn simulate_vote(behaviors: &[NodeBehavior], config: &SimConfig) -> Result<V
         }
     }
 
+    let _round_span = telemetry.span("consensus.vote");
+
     // Phase 1: every node computes its outbox in parallel.
     let mut senders: Vec<(usize, NodeBehavior)> =
         behaviors.iter().copied().enumerate().collect();
-    let outboxes: Vec<Vec<(usize, VoteMsg)>> =
+    let outboxes: Vec<Vec<(usize, VoteMsg)>> = {
+        let _span = telemetry.span("broadcast");
         par::map_items_mut(&mut senders, |_, &mut (i, behavior)| {
             outbox(i, behavior, n, config)
-        });
+        })
+    };
+    let messages: usize = outboxes.iter().map(Vec::len).sum();
 
     // Barrier: deliver every message into per-node inboxes. Senders are
     // walked in ascending id order, so each inbox is sorted by sender.
     let mut inboxes: Vec<Vec<VoteMsg>> = vec![Vec::new(); n];
-    for msgs in &outboxes {
-        for &(dest, msg) in msgs {
-            inboxes[dest].push(msg);
+    {
+        let _span = telemetry.span("deliver");
+        for msgs in &outboxes {
+            for &(dest, msg) in msgs {
+                inboxes[dest].push(msg);
+            }
         }
     }
 
     // Phase 2: every honest node decides in parallel from its inbox.
     let mut receivers: Vec<(NodeBehavior, Vec<VoteMsg>)> =
         behaviors.iter().copied().zip(inboxes).collect();
-    let decisions: Vec<Option<usize>> =
+    let decisions: Vec<Option<usize>> = {
+        let _span = telemetry.span("decide");
         par::map_items_mut(&mut receivers, |_, (behavior, inbox)| match behavior {
             NodeBehavior::Honest { proposal } => {
                 let mut votes = vec![*proposal]; // own vote
@@ -216,7 +243,18 @@ pub fn simulate_vote(behaviors: &[NodeBehavior], config: &SimConfig) -> Result<V
                 vote::decide(&votes, config.num_choices).ok()
             }
             NodeBehavior::Byzantine(_) => None,
-        });
+        })
+    };
+
+    // All inputs to these counters are pure functions of (behaviors,
+    // config), so the metrics replay bit-identically at every pool width.
+    telemetry.counter_add("consensus.vote.rounds", 1);
+    telemetry.counter_add("consensus.vote.nodes", n as u64);
+    telemetry.counter_add("consensus.vote.messages", messages as u64);
+    telemetry.counter_add(
+        "consensus.vote.decided",
+        decisions.iter().flatten().count() as u64,
+    );
 
     Ok(VoteOutcome {
         decisions,
@@ -327,6 +365,40 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.decisions[3], None);
         assert!(outcome.decisions[..3].iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn instrumented_vote_emits_spans_and_counters() {
+        use dinar_telemetry::{ManualClock, Telemetry};
+        use std::sync::Arc;
+        let telemetry = Telemetry::with_clock(Arc::new(ManualClock::new()));
+        let mut behaviors = honest(4, 1);
+        behaviors.push(NodeBehavior::Byzantine(ByzantineStrategy::Silent));
+        let outcome = simulate_vote_with_telemetry(
+            &behaviors,
+            &SimConfig {
+                num_choices: 3,
+                seed: 5,
+            },
+            &telemetry,
+        )
+        .unwrap();
+        assert_eq!(outcome.agreed_value(), Some(1));
+        let paths: Vec<String> =
+            telemetry.spans().iter().map(|s| s.path.clone()).collect();
+        for expect in [
+            "consensus.vote",
+            "consensus.vote/broadcast",
+            "consensus.vote/deliver",
+            "consensus.vote/decide",
+        ] {
+            assert!(paths.iter().any(|p| p == expect), "missing span {expect}");
+        }
+        assert_eq!(telemetry.counter_value("consensus.vote.rounds"), 1);
+        assert_eq!(telemetry.counter_value("consensus.vote.nodes"), 5);
+        // 4 honest senders × 4 peers; the silent node sends nothing.
+        assert_eq!(telemetry.counter_value("consensus.vote.messages"), 16);
+        assert_eq!(telemetry.counter_value("consensus.vote.decided"), 4);
     }
 
     #[test]

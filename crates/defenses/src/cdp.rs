@@ -12,6 +12,7 @@
 use crate::dp::{add_gaussian_noise, clip_l2_with_count, DpParams};
 use dinar_fl::{Result, ServerMiddleware};
 use dinar_nn::ModelParams;
+use dinar_telemetry::Telemetry;
 use dinar_tensor::Rng;
 
 /// CDP server middleware: the Gaussian mechanism on the FedAvg aggregate's
@@ -22,6 +23,7 @@ pub struct CentralDp {
     clients: usize,
     rng: Rng,
     previous_global: Option<ModelParams>,
+    telemetry: Telemetry,
 }
 
 impl CentralDp {
@@ -38,6 +40,7 @@ impl CentralDp {
             clients,
             rng,
             previous_global: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -56,10 +59,23 @@ impl ServerMiddleware for CentralDp {
             let std_dev = self.dp.noise_multiplier() * self.dp.clip_norm
                 / (self.clients as f32 * d.sqrt());
             add_gaussian_noise(&mut update, std_dev, &mut self.rng);
+            // One (ε, δ) invocation of the Gaussian mechanism on the global
+            // aggregate; the ledger composes the per-round charges.
+            self.telemetry.privacy_charge(
+                "cdp",
+                "global",
+                f64::from(self.dp.epsilon),
+                f64::from(self.dp.delta),
+            );
             // Commuted in-place reconstruction (bit-identical to
             // `prev.clone() + update`).
             update.add_assign(prev)?;
             *params = update;
+        } else {
+            // First-round pass-through releases the aggregate unnoised: an
+            // explicit zero-cost ledger entry, so the audit shows the round
+            // was seen rather than unaccounted for.
+            self.telemetry.privacy_charge_zero("cdp", "global");
         }
         // First round has no reference; release the aggregate as-is (it is
         // one step from the public initialization).
@@ -69,6 +85,10 @@ impl ServerMiddleware for CentralDp {
 
     fn name(&self) -> &'static str {
         "cdp"
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone(); // lint: allow(L009, telemetry handle, not params)
     }
 }
 

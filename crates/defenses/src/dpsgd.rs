@@ -12,6 +12,7 @@
 use crate::dp::{clip_factor, DpParams};
 use dinar_nn::optim::Optimizer;
 use dinar_nn::{Model, Result};
+use dinar_telemetry::Telemetry;
 use dinar_tensor::Rng;
 
 /// DP-SGD wrapper: gradient clipping + Gaussian noise before every step of
@@ -22,6 +23,8 @@ pub struct DpOptimizer {
     dp: DpParams,
     amortization: f32,
     rng: Rng,
+    telemetry: Telemetry,
+    client_id: usize,
 }
 
 impl DpOptimizer {
@@ -32,6 +35,8 @@ impl DpOptimizer {
             dp,
             amortization: 1.0,
             rng,
+            telemetry: Telemetry::disabled(),
+            client_id: 0,
         }
     }
 
@@ -84,6 +89,16 @@ impl Optimizer for DpOptimizer {
             }
             self.rng.axpy_normal(g.as_mut_slice(), std_dev);
         }
+        // Each step is one Gaussian-mechanism invocation. Amortization over
+        // k steps divides the per-step noise by √k, so the per-step budget
+        // *inflates* to ε·√k — the composition in the ledger then recovers
+        // the whole-run cost instead of double-discounting it.
+        self.telemetry.privacy_charge(
+            "dpsgd",
+            &format!("client[{}]", self.client_id),
+            f64::from(self.dp.epsilon) * f64::from(self.amortization),
+            f64::from(self.dp.delta),
+        );
         self.inner.step(model)
     }
 
@@ -93,6 +108,12 @@ impl Optimizer for DpOptimizer {
 
     fn name(&self) -> &'static str {
         "dp-sgd"
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry, client_id: usize) {
+        self.telemetry = telemetry.clone(); // lint: allow(L009, telemetry handle, not params)
+        self.client_id = client_id;
+        self.inner.attach_telemetry(telemetry, client_id);
     }
 }
 

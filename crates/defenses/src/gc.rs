@@ -11,6 +11,7 @@
 
 use dinar_fl::{ClientMiddleware, FlError, Result};
 use dinar_nn::ModelParams;
+use dinar_telemetry::Telemetry;
 
 /// Exact k-th largest magnitude over the update, found by binary search on
 /// IEEE-754 bit patterns: for the non-negative floats `|x|` produces,
@@ -55,6 +56,8 @@ pub struct GradientCompression {
     error_feedback: bool,
     received_global: Option<ModelParams>,
     residual: Option<ModelParams>,
+    telemetry: Telemetry,
+    client_id: usize,
 }
 
 impl GradientCompression {
@@ -74,6 +77,8 @@ impl GradientCompression {
             error_feedback: true,
             received_global: None,
             residual: None,
+            telemetry: Telemetry::disabled(),
+            client_id: 0,
         }
     }
 
@@ -168,12 +173,22 @@ impl ClientMiddleware for GradientCompression {
             }
             self.residual = None;
         }
+        // Sparsification discards information but carries no (ε, δ)
+        // guarantee; the ledger records the round as an explicit zero-cost
+        // entry so audits can tell "no DP" from "not accounted".
+        self.telemetry
+            .privacy_charge_zero("gc", &format!("client[{}]", self.client_id));
         *params = update;
         Ok(())
     }
 
     fn name(&self) -> &'static str {
         "gc"
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry, client_id: usize) {
+        self.telemetry = telemetry.clone(); // lint: allow(L009, telemetry handle, not params)
+        self.client_id = client_id;
     }
 }
 

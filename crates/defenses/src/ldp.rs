@@ -10,6 +10,7 @@
 use crate::dp::{gaussian_mechanism, DpParams};
 use dinar_fl::{ClientMiddleware, FlError, Result};
 use dinar_nn::ModelParams;
+use dinar_telemetry::Telemetry;
 use dinar_tensor::Rng;
 
 /// LDP upload middleware: clip the update to the L2 bound, add Gaussian
@@ -19,6 +20,8 @@ pub struct LocalDp {
     dp: DpParams,
     rng: Rng,
     received_global: Option<ModelParams>,
+    telemetry: Telemetry,
+    client_id: usize,
 }
 
 impl LocalDp {
@@ -28,6 +31,8 @@ impl LocalDp {
             dp,
             rng,
             received_global: None,
+            telemetry: Telemetry::disabled(),
+            client_id: 0,
         }
     }
 
@@ -53,6 +58,14 @@ impl ClientMiddleware for LocalDp {
             })?;
         let mut update = params.sub(global)?;
         gaussian_mechanism(&mut update, &self.dp, &mut self.rng);
+        // Each upload is one (ε, δ) invocation of the Gaussian mechanism on
+        // this client's data; the ledger composes the per-round charges.
+        self.telemetry.privacy_charge(
+            "ldp",
+            &format!("client[{}]", self.client_id),
+            f64::from(self.dp.epsilon),
+            f64::from(self.dp.delta),
+        );
         // `update + global` adds the same pairs as the old
         // `global.clone() + update` (f32 addition commutes bitwise), without
         // materializing an upload copy.
@@ -63,6 +76,11 @@ impl ClientMiddleware for LocalDp {
 
     fn name(&self) -> &'static str {
         "ldp"
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry, client_id: usize) {
+        self.telemetry = telemetry.clone(); // lint: allow(L009, telemetry handle, not params)
+        self.client_id = client_id;
     }
 }
 

@@ -15,6 +15,7 @@
 
 use dinar_fl::{ClientMiddleware, FlError, Result};
 use dinar_nn::{ModelParams, ParamViewMut};
+use dinar_telemetry::Telemetry;
 use dinar_tensor::Rng;
 use std::sync::Arc;
 
@@ -108,12 +109,16 @@ impl SaGroup {
 #[derive(Debug)]
 pub struct SecureAggregation {
     group: Arc<SaGroup>,
+    telemetry: Telemetry,
 }
 
 impl SecureAggregation {
     /// Creates the middleware for one client of `group`.
     pub fn new(group: Arc<SaGroup>) -> Self {
-        SecureAggregation { group }
+        SecureAggregation {
+            group,
+            telemetry: Telemetry::disabled(),
+        }
     }
 }
 
@@ -130,11 +135,20 @@ impl ClientMiddleware for SecureAggregation {
         }
         let mask = self.group.mask_for(client_id, params);
         params.add_assign(&mask)?;
+        // Pairwise masks cancel exactly in the server's sum: SA spends no
+        // differential-privacy budget, and the ledger records that as an
+        // explicit zero-cost entry rather than silence.
+        self.telemetry
+            .privacy_charge_zero("sa", &format!("client[{client_id}]"));
         Ok(())
     }
 
     fn name(&self) -> &'static str {
         "sa"
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry, _client_id: usize) {
+        self.telemetry = telemetry.clone(); // lint: allow(L009, telemetry handle, not params)
     }
 }
 

@@ -12,7 +12,13 @@
 use crate::dp::{add_gaussian_noise, clip_l2};
 use dinar_fl::{ClientMiddleware, FlError, Result};
 use dinar_nn::ModelParams;
+use dinar_telemetry::Telemetry;
 use dinar_tensor::Rng;
+
+/// The δ WDP's inverted-mechanism ε is reported against: WDP fixes the noise
+/// magnitude instead of a budget, so the ledger entry is the (ε, δ) a
+/// Gaussian mechanism with that exact noise would have provided.
+const WDP_LEDGER_DELTA: f64 = 1e-5;
 
 /// WDP upload middleware.
 #[derive(Debug)]
@@ -21,6 +27,8 @@ pub struct WeakDp {
     sigma: f32,
     rng: Rng,
     received_global: Option<ModelParams>,
+    telemetry: Telemetry,
+    client_id: usize,
 }
 
 impl WeakDp {
@@ -31,6 +39,8 @@ impl WeakDp {
             sigma,
             rng,
             received_global: None,
+            telemetry: Telemetry::disabled(),
+            client_id: 0,
         }
     }
 
@@ -57,6 +67,27 @@ impl ClientMiddleware for WeakDp {
         let mut update = params.sub(global)?;
         clip_l2(&mut update, self.norm_bound);
         add_gaussian_noise(&mut update, self.sigma, &mut self.rng);
+        // WDP fixes σ instead of a budget; invert the Gaussian-mechanism
+        // calibration to find the ε this round's noise actually bought. Per
+        // coordinate we add std `sigma` over d coordinates, i.e. a noise
+        // *norm* of sigma·√d against sensitivity `norm_bound`, so the
+        // effective multiplier is z = sigma·√d / bound and
+        // ε = √(2 ln(1.25/δ)) / z — large ε, consistent with "weak".
+        if self.telemetry.is_enabled() {
+            let d = update.param_count().max(1) as f64;
+            let z = f64::from(self.sigma) * d.sqrt() / f64::from(self.norm_bound);
+            let eps = if z > 0.0 {
+                (2.0 * (1.25 / WDP_LEDGER_DELTA).ln()).sqrt() / z
+            } else {
+                f64::INFINITY // no noise: clamped to 0 by the ledger, but counted
+            };
+            self.telemetry.privacy_charge(
+                "wdp",
+                &format!("client[{}]", self.client_id),
+                eps,
+                WDP_LEDGER_DELTA,
+            );
+        }
         // Commuted in-place reconstruction; bit-identical to the old
         // `global.clone() + update` without the upload copy.
         update.add_assign(global)?;
@@ -66,6 +97,11 @@ impl ClientMiddleware for WeakDp {
 
     fn name(&self) -> &'static str {
         "wdp"
+    }
+
+    fn attach_telemetry(&mut self, telemetry: &Telemetry, client_id: usize) {
+        self.telemetry = telemetry.clone(); // lint: allow(L009, telemetry handle, not params)
+        self.client_id = client_id;
     }
 }
 

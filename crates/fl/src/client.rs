@@ -79,12 +79,18 @@ impl FlClient {
         })
     }
 
-    /// Attaches a telemetry sink to this client **and its model**: the
-    /// round protocol then emits `download` / `train` / `upload` spans, one
-    /// `mw[name]` span per middleware transform, and the model's per-layer
-    /// spans nested beneath them.
+    /// Attaches a telemetry sink to this client, its model, its optimizer
+    /// **and its middleware stack**: the round protocol then emits
+    /// `download` / `train` / `upload` spans, one `mw[name]` span per
+    /// middleware transform, the model's per-layer spans nested beneath
+    /// them — and every defense in the stack charges the sink's privacy
+    /// ledger.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.model.set_telemetry(telemetry.clone()); // lint: allow(L009, telemetry handle, not params)
+        self.optimizer.attach_telemetry(&telemetry, self.id);
+        for mw in &mut self.middleware {
+            mw.attach_telemetry(&telemetry, self.id);
+        }
         self.telemetry = telemetry;
     }
 
@@ -128,9 +134,13 @@ impl FlClient {
         &mut self.model
     }
 
-    /// Appends a middleware to the client's stack.
+    /// Appends a middleware to the client's stack, handing it the
+    /// client's current telemetry sink.
     pub fn push_middleware(&mut self, mw: Box<dyn ClientMiddleware>) {
         self.middleware.push(mw);
+        if let Some(mw) = self.middleware.last_mut() {
+            mw.attach_telemetry(&self.telemetry, self.id);
+        }
     }
 
     /// Names of the installed middleware, in order.

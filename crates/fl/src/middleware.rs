@@ -15,6 +15,7 @@
 
 use crate::Result;
 use dinar_nn::ModelParams;
+use dinar_telemetry::Telemetry;
 
 /// Client-side hooks: transforms applied to downloaded and uploaded
 /// parameter sets.
@@ -53,6 +54,15 @@ pub trait ClientMiddleware: std::fmt::Debug + Send {
 
     /// Short middleware name for reports.
     fn name(&self) -> &'static str;
+
+    /// Hands the middleware the telemetry sink of the system it serves,
+    /// plus the id of the client it is attached to. Called by
+    /// [`FlClient::set_telemetry`](crate::FlClient::set_telemetry) and on
+    /// registration; stateless middleware can ignore it, defenses use it
+    /// to charge the privacy ledger (lint rule L016).
+    fn attach_telemetry(&mut self, telemetry: &Telemetry, client_id: usize) {
+        let _ = (telemetry, client_id);
+    }
 }
 
 /// Server-side hook: transforms the aggregated global model before it is
@@ -68,6 +78,14 @@ pub trait ServerMiddleware: std::fmt::Debug + Send {
 
     /// Short middleware name for reports.
     fn name(&self) -> &'static str;
+
+    /// Hands the middleware the telemetry sink of the system it serves.
+    /// Called by [`FlServer::set_telemetry`](crate::FlServer::set_telemetry)
+    /// and on registration; server defenses use it to charge the privacy
+    /// ledger (lint rule L016).
+    fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        let _ = telemetry;
+    }
 }
 
 /// The no-op middleware (the undefended FL baseline).

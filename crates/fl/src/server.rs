@@ -2,6 +2,7 @@
 
 use crate::{ClientUpdate, FlError, Result, ServerMiddleware};
 use dinar_nn::ModelParams;
+use dinar_telemetry::Telemetry;
 
 /// The federated learning server.
 ///
@@ -19,6 +20,7 @@ pub struct FlServer {
     scratch: Option<ModelParams>,
     middleware: Vec<Box<dyn ServerMiddleware>>,
     rounds_completed: usize,
+    telemetry: Telemetry,
 }
 
 impl FlServer {
@@ -29,7 +31,17 @@ impl FlServer {
             scratch: None,
             middleware: Vec::new(),
             rounds_completed: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink to the server's middleware stack, so
+    /// server-side defenses (central DP) charge the sink's privacy ledger.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for mw in &mut self.middleware {
+            mw.attach_telemetry(&telemetry);
+        }
+        self.telemetry = telemetry;
     }
 
     /// The current global model parameters.
@@ -42,9 +54,13 @@ impl FlServer {
         self.rounds_completed
     }
 
-    /// Appends a server middleware.
+    /// Appends a server middleware, handing it the server's current
+    /// telemetry sink.
     pub fn push_middleware(&mut self, mw: Box<dyn ServerMiddleware>) {
         self.middleware.push(mw);
+        if let Some(mw) = self.middleware.last_mut() {
+            mw.attach_telemetry(&self.telemetry);
+        }
     }
 
     /// FedAvg-aggregates the client updates into a new global model and runs

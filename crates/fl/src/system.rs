@@ -133,15 +133,18 @@ impl FlSystem {
         }
     }
 
-    /// Attaches a telemetry sink to the system and **every client** (and
-    /// through them, every client model). Each subsequent round emits a
+    /// Attaches a telemetry sink to the system, **every client** (and
+    /// through them, every client model, optimizer and middleware stack)
+    /// and the server's middleware. Each subsequent round emits a
     /// `round[N]` span with nested `client[i]` (download / train / upload /
     /// middleware / per-layer) and `aggregate` children, plus the bridged
-    /// tensor kernel counters; see `dinar-telemetry` for the export side.
+    /// tensor kernel counters; defenses on either side charge the sink's
+    /// privacy ledger. See `dinar-telemetry` for the export side.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
         for client in &mut self.clients {
             client.set_telemetry(telemetry.clone()); // lint: allow(L009, telemetry handle, not params)
         }
+        self.server.set_telemetry(telemetry.clone()); // lint: allow(L009, telemetry handle, not params)
         self.telemetry = telemetry;
     }
 

@@ -216,6 +216,21 @@ pub fn run_threaded_resilient(
         });
     }
 
+    // Self-describing runs: the policy's fault seed and deadline become
+    // deterministic gauges, so exported metrics (and the dropout bench rows
+    // built from them) name the exact failure schedule they ran under.
+    if telemetry.is_enabled() {
+        if let Some(seed) = policy.faults.seed() {
+            telemetry.gauge_set("fl.transport.fault_seed", seed as f64);
+        }
+        if let Some(deadline) = policy.deadline {
+            telemetry.gauge_set(
+                "fl.transport.deadline_ms",
+                deadline.as_millis() as f64,
+            );
+        }
+    }
+
     let (reply_tx, reply_rx): (Sender<ClientReply>, Receiver<ClientReply>) = channel();
     let plan = Arc::new(policy.faults.clone());
 
@@ -367,6 +382,12 @@ pub fn run_threaded_resilient(
                             first_failure
                                 .get_or_insert((id, "missed the round deadline".into()));
                         }
+                        telemetry.flight_record(
+                            "fault",
+                            "deadline_expired",
+                            pending.len() as u64,
+                        );
+                        telemetry.flight_dump_if_requested("deadline");
                         pending.clear();
                     }
                     Step::Disconnected => {
@@ -385,6 +406,8 @@ pub fn run_threaded_resilient(
         if updates.len() < required {
             let (client, cause) = first_failure
                 .unwrap_or((0, "no client failure observed".into()));
+            telemetry.flight_record("fault", "quorum_failed", updates.len() as u64);
+            telemetry.flight_dump_if_requested("quorum");
             error = Some(FlError::ClientFailure {
                 client,
                 round: rounds_before + r,
@@ -453,6 +476,8 @@ pub fn run_threaded_resilient(
             Ok(Ok(client)) => clients.push(client),
             Ok(Err(e)) => error = error.or(Some(e)),
             Err(_) => {
+                telemetry.flight_record("fault", "client_panic", id as u64);
+                telemetry.flight_dump_if_requested("panic");
                 error = error.or(Some(FlError::ClientFailure {
                     client: id,
                     round: attempted_rounds,
@@ -503,9 +528,20 @@ fn spawn_client(
                 ServerMsg::Shutdown => break,
                 ServerMsg::StartRound { round, global } => {
                     if let Some(stale) = held.take() {
+                        client
+                            .telemetry()
+                            .flight_record("send", "stale_update", round as u64);
                         let _ = replies.send(ClientReply::Update(stale));
                     }
                     let fault = plan.action(id, round);
+                    if let Some(kind) = fault {
+                        // The fault plan triggering is exactly the moment a
+                        // postmortem wants on record: which kind, what round,
+                        // on which client's thread.
+                        client
+                            .telemetry()
+                            .flight_record("fault", fault_label(kind), round as u64);
+                    }
                     match fault {
                         Some(FaultKind::Crash) => return Ok(client),
                         Some(FaultKind::Stall) => continue,
@@ -516,6 +552,9 @@ fn spawn_client(
                             }
                             if failed_attempts < failures {
                                 failed_attempts += 1;
+                                client
+                                    .telemetry()
+                                    .flight_record("send", "transient", round as u64);
                                 let _ = replies.send(ClientReply::Transient {
                                     client: id,
                                     round,
@@ -537,6 +576,9 @@ fn spawn_client(
                             // The reply carries the diagnosis; the thread
                             // exits like a crashed process, returning its
                             // state for post-mortem reassembly.
+                            client
+                                .telemetry()
+                                .flight_record("send", "fatal", round as u64);
                             let _ = replies.send(ClientReply::Fatal {
                                 client: id,
                                 round,
@@ -558,16 +600,17 @@ fn spawn_client(
                             // The server may already have given up on this
                             // round (or shut down); a closed channel just
                             // ends us.
-                            let reply = match fault {
+                            let (label, reply) = match fault {
                                 Some(FaultKind::DropUpdate) => {
-                                    ClientReply::Dropped { client: id, round }
+                                    ("dropped", ClientReply::Dropped { client: id, round })
                                 }
                                 Some(FaultKind::Delay) => {
                                     held = Some(msg);
-                                    ClientReply::Delayed { client: id, round }
+                                    ("delayed", ClientReply::Delayed { client: id, round })
                                 }
-                                _ => ClientReply::Update(msg),
+                                _ => ("update", ClientReply::Update(msg)),
                             };
+                            client.telemetry().flight_record("send", label, round as u64);
                             let _ = replies.send(reply);
                         }
                     }
@@ -581,6 +624,17 @@ fn spawn_client(
         tx,
         join,
         departed: false,
+    }
+}
+
+/// Stable flight-recorder label for an injected fault kind.
+fn fault_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Crash => "crash",
+        FaultKind::DropUpdate => "drop_update",
+        FaultKind::Delay => "delay",
+        FaultKind::Stall => "stall",
+        FaultKind::Transient { .. } => "transient",
     }
 }
 

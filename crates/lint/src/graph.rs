@@ -1,5 +1,5 @@
 //! Workspace symbol table, approximate call graph and the cross-file rules
-//! L010–L015.
+//! L010–L016.
 //!
 //! Resolution is **name-based** (no type inference): free calls resolve to
 //! every workspace free function of that name, `Type::method` resolves
@@ -176,6 +176,7 @@ pub fn check_semantic(sources: &[(String, String)]) -> Vec<Finding> {
     check_l011(&ws, &mut findings);
     check_l012(&ws, &mut findings);
     check_l013(&ws, &mut findings);
+    check_l016(&ws, &mut findings);
     for (path, source) in sources {
         let stripped = strip(source);
         check_l014(path, &stripped, &mut findings);
@@ -752,6 +753,91 @@ fn check_l015(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// L016: ledger coverage in dinar-defenses
+// ---------------------------------------------------------------------
+
+/// Defense transform entry points that must report to the privacy ledger.
+pub const L016_ENTRY_FNS: [&str; 3] = ["transform_upload", "transform_aggregate", "step"];
+
+/// The ledger sinks: a real (ε, δ) charge or an explicit zero-cost entry.
+pub const L016_SINK_FNS: [&str; 2] = ["privacy_charge", "privacy_charge_zero"];
+
+/// L016: inside `dinar-defenses`, every pub/trait-impl entry point named in
+/// [`L016_ENTRY_FNS`] must reach a [`L016_SINK_FNS`] call through the call
+/// graph — the ledger-coverage contract that lets an audit distinguish
+/// "this defense spends no budget" (an explicit `privacy_charge_zero`)
+/// from "this defense forgot to report". The obligation propagates through
+/// private helpers, mirroring L010's fixpoint in the reaching direction: a
+/// transform that delegates its reporting to a helper is covered. A
+/// transform that genuinely cannot touch member data carries a
+/// `// lint: allow(L016, reason)` on a body line.
+fn check_l016(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let in_scope: Vec<usize> = (0..ws.fns.len())
+        .filter(|&i| ws.fns[i].file.starts_with("crates/defenses/src/"))
+        .collect();
+    let scope_set: BTreeSet<usize> = in_scope.iter().copied().collect();
+
+    // A function reaches the ledger if it calls a sink directly, or calls
+    // an in-scope function that reaches it.
+    let mut reaches: BTreeSet<usize> = in_scope
+        .iter()
+        .copied()
+        .filter(|&i| {
+            ws.fns[i].events.iter().any(|e| match &e.kind {
+                EventKind::Call(call) => {
+                    L016_SINK_FNS.contains(&Workspace::call_name(call))
+                }
+                _ => false,
+            })
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for &i in &in_scope {
+            if reaches.contains(&i) {
+                continue;
+            }
+            let callee_reaches = ws.fns[i].events.iter().any(|e| {
+                matches!(&e.kind, EventKind::Call(call)
+                    if ws.resolve(call).iter().any(|t| {
+                        scope_set.contains(t) && reaches.contains(t)
+                    }))
+            });
+            if callee_reaches {
+                reaches.insert(i);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for &i in &in_scope {
+        let f = &ws.fns[i];
+        if !(f.is_pub || f.is_trait_impl)
+            || !L016_ENTRY_FNS.contains(&f.name.as_str())
+            || reaches.contains(&i)
+            || f.events.iter().any(|e| e.allowed("L016"))
+        {
+            continue;
+        }
+        findings.push(Finding {
+            rule: Rule::L016,
+            file: f.file.clone(),
+            line: f.line,
+            message: format!(
+                "`{}` never reports to the privacy ledger; charge the cost with \
+                 `privacy_charge` (or `privacy_charge_zero` for a cost-free \
+                 transform), or annotate a body line with \
+                 `lint: allow(L016, reason)`",
+                f.qual,
+            ),
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1129,5 +1215,71 @@ mod tests {
              }\n",
         )]);
         assert!(rule_findings(&sources, Rule::L015).is_empty());
+    }
+
+    // ----- L016 ------------------------------------------------------
+
+    #[test]
+    fn l016_flags_transform_that_never_reports_to_the_ledger() {
+        let sources = files(&[(
+            "crates/defenses/src/quiet.rs",
+            "impl ClientMiddleware for Quiet {\n\
+                 fn transform_upload(&mut self, p: &mut ModelParams) {\n\
+                     scale(p);\n\
+                 }\n\
+             }\n",
+        )]);
+        let l016 = rule_findings(&sources, Rule::L016);
+        assert_eq!(l016.len(), 1, "{l016:?}");
+        assert_eq!(l016[0].line, 2);
+        assert!(l016[0].message.contains("transform_upload"));
+    }
+
+    #[test]
+    fn l016_accepts_direct_charges_and_charges_through_helpers() {
+        let sources = files(&[(
+            "crates/defenses/src/loud.rs",
+            "impl ClientMiddleware for Direct {\n\
+                 fn transform_upload(&mut self, p: &mut ModelParams) {\n\
+                     self.telemetry.privacy_charge(\"ldp\", \"client[0]\", e, d);\n\
+                 }\n\
+             }\n\
+             impl ClientMiddleware for Delegating {\n\
+                 fn transform_upload(&mut self, p: &mut ModelParams) {\n\
+                     report_cost(&self.telemetry);\n\
+                 }\n\
+             }\n\
+             fn report_cost(t: &Telemetry) {\n\
+                 t.privacy_charge_zero(\"sa\", \"client[0]\");\n\
+             }\n",
+        )]);
+        assert!(rule_findings(&sources, Rule::L016).is_empty());
+    }
+
+    #[test]
+    fn l016_honors_allow_and_ignores_other_crates_and_other_fns() {
+        let sources = files(&[
+            (
+                "crates/defenses/src/inert.rs",
+                "impl ClientMiddleware for Inert {\n\
+                     fn transform_upload(&mut self, p: &mut ModelParams) {\n\
+                         // lint: allow(L016, pure reshape, never touches member data)\n\
+                         reshape(p);\n\
+                     }\n\
+                 }\n\
+                 pub fn unrelated_helper(p: &mut ModelParams) {\n\
+                     scale(p);\n\
+                 }\n",
+            ),
+            (
+                "crates/nn/src/optim.rs",
+                "impl Optimizer for Sgd {\n\
+                     fn step(&mut self, m: &mut Model) {\n\
+                         apply(m);\n\
+                     }\n\
+                 }\n",
+            ),
+        ]);
+        assert!(rule_findings(&sources, Rule::L016).is_empty());
     }
 }

@@ -1,7 +1,7 @@
-//! The rule catalog: fifteen repo-specific invariants (L001–L015).
+//! The rule catalog: sixteen repo-specific invariants (L001–L016).
 //!
 //! L001–L009 are per-line rules: pure functions from preprocessed sources
-//! (or manifests) to [`Finding`]s. L010–L015 are cross-file/token-level
+//! (or manifests) to [`Finding`]s. L010–L016 are cross-file/token-level
 //! semantic rules that run on the engine in [`crate::graph`]. Both layers are
 //! driven with inline fixtures by unit tests and with the real workspace by
 //! the CLI/umbrella gate.
@@ -51,6 +51,9 @@ pub enum Rule {
     /// No scalar `rng.normal()`/`normal_with()` draws inside loops in the
     /// defenses/param-plane modules: use the bulk fill API.
     L015,
+    /// Ledger coverage: every defense transform entry point must report to
+    /// the privacy ledger (`privacy_charge` / `privacy_charge_zero`).
+    L016,
 }
 
 impl Rule {
@@ -73,6 +76,7 @@ impl Rule {
             Rule::L013 => "L013",
             Rule::L014 => "L014",
             Rule::L015 => "L015",
+            Rule::L016 => "L016",
         }
     }
 
@@ -94,6 +98,7 @@ impl Rule {
             Rule::L013 => "lock-order: nested Mutex acquisitions must follow the global order",
             Rule::L014 => "no arithmetic accumulation over unordered-container iteration",
             Rule::L015 => "no scalar normal() draws inside loops in defenses/param-plane code",
+            Rule::L016 => "ledger-coverage: defense transforms must report to the privacy ledger",
         }
     }
 
@@ -237,11 +242,25 @@ impl Rule {
                  fixed-count loop) can be annotated\n\
                  `// lint: allow(L015, reason)`."
             }
+            Rule::L016 => {
+                "L016 — ledger coverage (cross-file, call-graph).\n\n\
+                 The privacy-budget ledger is only an audit surface if its coverage is\n\
+                 total: a defense transform that silently skips reporting makes the\n\
+                 audit read \"spends nothing\" when the truth is \"forgot to say\". Every\n\
+                 defense entry point in `dinar-defenses` — `transform_upload`,\n\
+                 `transform_aggregate`, and the DP optimizer's `step` — must reach\n\
+                 `Telemetry::privacy_charge` (real (ε, δ) cost) or\n\
+                 `Telemetry::privacy_charge_zero` (an explicit zero-cost entry, the\n\
+                 SA/GC case) through the call graph. Both are cheap and no-ops on a\n\
+                 disabled sink, so there is no fast-path excuse. A transform that\n\
+                 genuinely cannot touch member data can annotate a body line with\n\
+                 `// lint: allow(L016, reason)`."
+            }
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 15] {
+    pub fn all() -> [Rule; 16] {
         [
             Rule::L001,
             Rule::L002,
@@ -258,6 +277,7 @@ impl Rule {
             Rule::L013,
             Rule::L014,
             Rule::L015,
+            Rule::L016,
         ]
     }
 

@@ -375,7 +375,7 @@ fn literal_arg(toks: &[Tok], open: usize) -> bool {
 
 fn event(kind: EventKind, line: usize, stripped: &Stripped) -> Event {
     let mut allows = std::collections::BTreeSet::new();
-    for rule in ["L010", "L011", "L012", "L013", "L014"] {
+    for rule in ["L010", "L011", "L012", "L013", "L014", "L016"] {
         if stripped.is_allowed(rule, line) {
             allows.insert(rule);
         }

@@ -32,6 +32,14 @@ pub trait Optimizer: std::fmt::Debug + Send {
 
     /// Short human-readable name (used in experiment reports).
     fn name(&self) -> &'static str;
+
+    /// Hands the optimizer the telemetry sink of the client it trains
+    /// for, plus that client's id. Plain optimizers ignore it; DP-aware
+    /// wrappers (`dinar-defenses`' DP-SGD) use it to charge per-step
+    /// (ε, δ) spend to the privacy ledger (lint rule L016).
+    fn attach_telemetry(&mut self, telemetry: &dinar_telemetry::Telemetry, client_id: usize) {
+        let _ = (telemetry, client_id);
+    }
 }
 
 fn ensure_state(state: &mut Vec<Tensor>, params: &[(&mut Tensor, &Tensor)]) {

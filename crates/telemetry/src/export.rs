@@ -156,6 +156,84 @@ pub fn span_coverage(tel: &Telemetry) -> f64 {
     covered as f64 / root_total as f64
 }
 
+/// The process id a span belongs to in the trace-event export: the index
+/// of the first `client[i]` segment on its path, or 0 for server/system
+/// work. Groups every per-client track under one process row in the
+/// Perfetto UI.
+fn trace_pid(path: &str) -> u64 {
+    for segment in path.split('/') {
+        if let Some(idx) = segment
+            .strip_prefix("client[")
+            .and_then(|rest| rest.strip_suffix(']'))
+        {
+            if let Ok(pid) = idx.parse::<u64>() {
+                // Client ids start a 1-based pid space; 0 stays the server.
+                return pid + 1;
+            }
+        }
+    }
+    0
+}
+
+/// Chrome/Perfetto trace-event JSON over the completed spans: every span
+/// becomes a `ph:"B"` / `ph:"E"` pair with `ts`/`dur` in microseconds,
+/// `pid` derived from the span's `client[i]` path segment (0 = server)
+/// and `tid` the recording thread's per-sink ordinal. Open the output in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+///
+/// Pairs are emitted adjacently in sorted-span order with a fixed field
+/// order, so for a deterministic program under a
+/// [`ManualClock`](crate::ManualClock) at pool width 1 the output is
+/// byte-stable (the golden-snapshot contract); at wider pools `tid`
+/// legitimately tracks scheduling.
+pub fn trace_events(tel: &Telemetry) -> String {
+    let mut events = Vec::new();
+    for span in sorted_spans(tel) {
+        let name = span.path.rsplit('/').next().unwrap_or(&span.path);
+        let pid = trace_pid(&span.path);
+        let common = [
+            ("name", name.to_json()),
+            ("cat", "span".to_json()),
+            ("pid", pid.to_json()),
+            ("tid", span.tid.to_json()),
+        ];
+        let mut begin = common.to_vec();
+        begin.push(("ph", "B".to_json()));
+        begin.push(("ts", span.start_us.to_json()));
+        begin.push(("args", Json::obj([("path", span.path.to_json())])));
+        events.push(Json::obj(begin));
+        let mut end = common.to_vec();
+        end.push(("ph", "E".to_json()));
+        end.push(("ts", (span.start_us + span.dur_us).to_json()));
+        events.push(Json::obj(end));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", "ms".to_json()),
+    ])
+    .dump()
+}
+
+/// Writes [`trace_events`] to the path named by the `DINAR_TRACE`
+/// environment variable, if set (best-effort: IO errors are swallowed so
+/// an exporter can never fail the run it observed). Returns the path
+/// written.
+pub fn write_trace_if_requested(tel: &Telemetry) -> Option<std::path::PathBuf> {
+    let path = match std::env::var("DINAR_TRACE") {
+        Ok(p) if !p.is_empty() => std::path::PathBuf::from(p),
+        _ => return None,
+    };
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(&path, trace_events(tel)) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +328,60 @@ mod tests {
     fn empty_telemetry_exports_empty_string() {
         assert_eq!(export_jsonl(&Telemetry::disabled(), true), "");
         assert_eq!(summary_tree(&Telemetry::disabled()), "");
+    }
+
+    #[test]
+    fn trace_pid_reads_the_client_segment() {
+        assert_eq!(trace_pid("round[1]/client[3]/train"), 4);
+        assert_eq!(trace_pid("round[1]/aggregate"), 0);
+        assert_eq!(trace_pid("client[0]"), 1);
+        assert_eq!(trace_pid("round[1]/client[x]/train"), 0);
+    }
+
+    #[test]
+    fn trace_events_emit_paired_b_e() {
+        let (clock, tel) = manual();
+        {
+            let _r = tel.span("round[1]");
+            {
+                let _c = tel.span("client[2]");
+                clock.advance(Duration::from_micros(10));
+            }
+            clock.advance(Duration::from_micros(5));
+        }
+        let text = trace_events(&tel);
+        let json = Json::parse(&text).expect("trace JSON parses");
+        let events = json
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 4, "two spans, one B/E pair each");
+        // Sorted-span order: round[1] first, then round[1]/client[2].
+        assert_eq!(events[0].get("ph").and_then(Json::as_str), Some("B"));
+        assert_eq!(events[0].get("name").and_then(Json::as_str), Some("round[1]"));
+        assert_eq!(events[0].get("pid").and_then(Json::as_u64), Some(0));
+        assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("E"));
+        assert_eq!(events[1].get("ts").and_then(Json::as_u64), Some(15));
+        assert_eq!(events[2].get("name").and_then(Json::as_str), Some("client[2]"));
+        assert_eq!(events[2].get("pid").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            events[2]
+                .get("args")
+                .and_then(|a| a.get("path"))
+                .and_then(Json::as_str),
+            Some("round[1]/client[2]")
+        );
+        // All on one thread under width-1 style execution: tid 0.
+        assert_eq!(events[0].get("tid").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn trace_events_of_empty_telemetry_is_valid_json() {
+        let text = trace_events(&Telemetry::disabled());
+        let json = Json::parse(&text).expect("parses");
+        assert_eq!(
+            json.get("traceEvents").and_then(Json::as_arr).map(|a| a.len()),
+            Some(0)
+        );
     }
 }

@@ -3,15 +3,18 @@
 //! Observability substrate for the DINAR reproduction: hierarchical
 //! [`span`]s timed by an injectable [`Clock`], a thread-safe metrics
 //! [`registry`] (counters, gauges, histograms), a [`bridge`] from the
-//! `dinar-tensor` kernel/alloc counters, and deterministic JSONL /
-//! summary-tree [`export`]ers.
+//! `dinar-tensor` kernel/alloc counters, deterministic JSONL /
+//! summary-tree / trace-event [`export`]ers, a postmortem flight
+//! [`recorder`], and a privacy-budget [`ledger`].
 //!
 //! The paper's evaluation is built from per-phase measurements — per-round
 //! training time, per-layer cost, memory footprint (Figs 8–11, Tables 2–3)
 //! — and this crate is the one instrument all layers share: `dinar-nn`
 //! times every layer's forward/backward, `dinar-fl` wraps rounds, clients
 //! and middleware in spans, and `dinar-bench` dumps the result next to each
-//! figure's data.
+//! figure's data. The audit plane rides the same handle: defenses charge
+//! their (ε, δ) spend to the [`ledger`], and the flight [`recorder`]
+//! keeps a bounded per-thread tape for crash postmortems.
 //!
 //! # The handle
 //!
@@ -37,8 +40,9 @@
 //!
 //! With a [`ManualClock`] and deterministic program flow, the *sorted*
 //! span list and the non-volatile metrics are identical for any
-//! `DINAR_THREADS`. See [`registry`] for which updates commute and
-//! [`export`] for the sorted, volatile-filtered emission.
+//! `DINAR_THREADS`. See [`registry`] for which updates commute,
+//! [`export`] for the sorted, volatile-filtered emission, and
+//! [`recorder`] for why flight dumps are width-independent too.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,13 +50,21 @@
 pub mod bridge;
 pub mod clock;
 pub mod export;
+pub mod ledger;
+pub mod recorder;
 pub mod registry;
 pub mod span;
 
 pub use clock::{Clock, ManualClock, WallClock};
+pub use ledger::PrivacyAccount;
+pub use recorder::FlightEvent;
 pub use registry::{Counter, Gauge, Histo, MetricData, MetricValue, Registry};
 pub use span::{SpanGuard, SpanRecord};
 
+use dinar_tensor::json::Json;
+use ledger::PrivacyLedger;
+use recorder::FlightRecorder;
+use span::TidAssigner;
 use std::sync::{Arc, Mutex, PoisonError};
 
 #[derive(Debug)]
@@ -62,9 +74,13 @@ struct Inner {
     /// held on pool threads.
     spans: Arc<Mutex<Vec<SpanRecord>>>,
     registry: Registry,
+    tids: TidAssigner,
+    flight: Arc<FlightRecorder>,
+    ledger: PrivacyLedger,
 }
 
-/// Shared handle to one telemetry sink (spans + metrics + clock).
+/// Shared handle to one telemetry sink (spans + metrics + clock +
+/// flight recorder + privacy ledger).
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Inner>>,
@@ -84,6 +100,9 @@ impl Telemetry {
                 clock,
                 spans: Arc::new(Mutex::new(Vec::new())),
                 registry: Registry::new(),
+                tids: TidAssigner::new(),
+                flight: Arc::new(FlightRecorder::new()),
+                ledger: PrivacyLedger::new(),
             })),
         }
     }
@@ -112,7 +131,13 @@ impl Telemetry {
             Some(parent) => format!("{parent}/{name}"),
             None => name.to_string(),
         };
-        SpanGuard::begin(inner.spans.clone(), inner.clock.clone(), path)
+        SpanGuard::begin(
+            inner.spans.clone(),
+            inner.clock.clone(),
+            path,
+            inner.tids.current(),
+            self.armed_flight(),
+        )
     }
 
     /// Opens a span named `name` under the explicit `parent` path —
@@ -128,7 +153,13 @@ impl Telemetry {
         } else {
             format!("{parent}/{name}")
         };
-        SpanGuard::begin(inner.spans.clone(), inner.clock.clone(), path)
+        SpanGuard::begin(
+            inner.spans.clone(),
+            inner.clock.clone(),
+            path,
+            inner.tids.current(),
+            self.armed_flight(),
+        )
     }
 
     /// Snapshot of all completed spans, in emission order (sort before
@@ -150,6 +181,137 @@ impl Telemetry {
     }
 
     // ------------------------------------------------------------------
+    // Flight recorder
+    // ------------------------------------------------------------------
+
+    /// The flight recorder, only when armed (the per-event fast path).
+    fn armed_flight(&self) -> Option<Arc<FlightRecorder>> {
+        match &self.inner {
+            Some(inner) if inner.flight.armed() => Some(inner.flight.clone()),
+            _ => None,
+        }
+    }
+
+    /// Arms the flight recorder: from now on spans, deterministic counter
+    /// updates and explicit [`flight_record`](Telemetry::flight_record)
+    /// calls append to the per-thread postmortem rings. Disarmed recording
+    /// costs one relaxed atomic load per event site.
+    pub fn flight_arm(&self) {
+        if let Some(inner) = &self.inner {
+            inner.flight.arm();
+        }
+    }
+
+    /// `true` once [`flight_arm`](Telemetry::flight_arm) has been called.
+    pub fn flight_armed(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.flight.armed())
+    }
+
+    /// Records one structured event on the calling thread's flight ring
+    /// (no-op when disabled or disarmed). `kind` classifies the event
+    /// (`"fault"`, `"send"`, …); the scope is the innermost span open on
+    /// this thread; the timestamp comes from the sink clock.
+    pub fn flight_record(&self, kind: &'static str, name: &str, value: u64) {
+        if let Some(flight) = self.armed_flight() {
+            if let Some(inner) = &self.inner {
+                let scope = span::current_path().unwrap_or_default();
+                let t_us = u64::try_from(inner.clock.elapsed().as_micros()).unwrap_or(u64::MAX);
+                flight.record(&scope, kind, name, t_us, value);
+            }
+        }
+    }
+
+    /// All retained flight events in canonical sorted order (empty when
+    /// disabled or disarmed).
+    pub fn flight_events(&self) -> Vec<FlightEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.flight.events(),
+        }
+    }
+
+    /// The sorted flight dump as JSONL — byte-identical across pool
+    /// widths for deterministic programs (see [`recorder`] module docs).
+    pub fn flight_dump_jsonl(&self) -> String {
+        match &self.inner {
+            None => String::new(),
+            Some(inner) => inner.flight.dump_jsonl(),
+        }
+    }
+
+    /// Writes the flight dump to `<dir>/FLIGHT_<reason>.jsonl` when the
+    /// `DINAR_FLIGHT` environment variable is set (`1` means the default
+    /// `bench-results` directory; any other value names the directory).
+    /// Best-effort: IO failures are swallowed — a postmortem writer must
+    /// never take the process down with it. Returns the path written.
+    pub fn flight_dump_if_requested(&self, reason: &str) -> Option<std::path::PathBuf> {
+        if !self.flight_armed() {
+            return None;
+        }
+        let dir = match std::env::var("DINAR_FLIGHT") {
+            Ok(v) if v == "1" => "bench-results".to_string(),
+            Ok(v) if !v.is_empty() => v,
+            _ => return None,
+        };
+        let dump = self.flight_dump_jsonl();
+        let path = std::path::Path::new(&dir).join(format!("FLIGHT_{reason}.jsonl"));
+        let _ = std::fs::create_dir_all(&dir);
+        match std::fs::write(&path, dump) {
+            Ok(()) => Some(path),
+            Err(_) => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Privacy ledger
+    // ------------------------------------------------------------------
+
+    /// Charges (ε, δ) spent by `defense` against `entity`'s budget and
+    /// refreshes the deterministic gauge `privacy.eps.<defense>.<entity>`
+    /// with the basic-composition total. Defense transforms are required
+    /// to call this (or [`privacy_charge_zero`](Telemetry::privacy_charge_zero))
+    /// on every application — lint rule L016.
+    pub fn privacy_charge(&self, defense: &str, entity: &str, eps: f64, delta: f64) {
+        if let Some(inner) = &self.inner {
+            inner.ledger.charge(defense, entity, eps, delta);
+            let total = inner.ledger.eps_basic(defense, entity);
+            inner
+                .registry
+                .gauge(&format!("privacy.eps.{defense}.{entity}"), false)
+                .set(total);
+        }
+    }
+
+    /// Registers a zero-cost ledger entry: `defense` ran for `entity` and
+    /// certifies it spent no differential-privacy budget. Keeps audit
+    /// coverage total — "spends nothing" is reported, not inferred.
+    pub fn privacy_charge_zero(&self, defense: &str, entity: &str) {
+        self.privacy_charge(defense, entity, 0.0, 0.0);
+    }
+
+    /// Every ledger account composed (basic + advanced), in
+    /// `(defense, entity)` order. Empty when disabled or nothing charged.
+    pub fn privacy_accounts(&self) -> Vec<PrivacyAccount> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner.ledger.accounts(),
+        }
+    }
+
+    /// The audit report as JSON — the payload of `AUDIT_privacy.json`.
+    pub fn privacy_report(&self) -> Json {
+        match &self.inner {
+            None => Json::obj([
+                ("slack", Json::Num(ledger::ADVANCED_COMPOSITION_SLACK)),
+                ("accounts", Json::Arr(Vec::new())),
+            ]),
+            Some(inner) => inner.ledger.report(),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Metrics
     // ------------------------------------------------------------------
 
@@ -163,6 +325,11 @@ impl Telemetry {
     pub fn counter_add(&self, name: &str, v: u64) {
         if let Some(inner) = &self.inner {
             inner.registry.counter(name, false).add(v);
+            if inner.flight.armed() {
+                let scope = span::current_path().unwrap_or_default();
+                let t_us = u64::try_from(inner.clock.elapsed().as_micros()).unwrap_or(u64::MAX);
+                inner.flight.record(&scope, "metric", name, t_us, v);
+            }
         }
     }
 
@@ -246,8 +413,12 @@ mod tests {
         tel.counter_add("x", 1);
         tel.gauge_max("y", 1.0);
         tel.observe("z", 0.0, 1.0, 4, 0.5);
+        tel.privacy_charge("dp", "client[0]", 1.0, 1e-5);
+        tel.flight_record("fault", "crash", 1);
         assert!(tel.metrics().is_empty());
         assert!(tel.clock().is_none());
+        assert!(tel.privacy_accounts().is_empty());
+        assert!(tel.flight_events().is_empty());
     }
 
     #[test]
@@ -276,5 +447,54 @@ mod tests {
         assert_eq!(tel.counter_value("level"), 0);
         // Disabled telemetry reads zero everywhere.
         assert_eq!(Telemetry::disabled().counter_value("hits"), 0);
+    }
+
+    #[test]
+    fn armed_flight_captures_spans_and_counters() {
+        let tel = Telemetry::with_clock(Arc::new(ManualClock::new()));
+        // Disarmed: nothing captured.
+        drop(tel.span("warmup"));
+        tel.counter_add("ticks", 1);
+        assert!(tel.flight_events().is_empty());
+        tel.flight_arm();
+        assert!(tel.flight_armed());
+        {
+            let _r = tel.span("round[1]");
+            tel.counter_add("ticks", 2);
+            tel.flight_record("fault", "client[0]", 7);
+        }
+        let events = tel.flight_events();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"span_enter"));
+        assert!(kinds.contains(&"span_exit"));
+        assert!(kinds.contains(&"metric"));
+        assert!(kinds.contains(&"fault"));
+        let fault = events.iter().find(|e| e.kind == "fault").unwrap();
+        assert_eq!(fault.scope, "round[1]");
+        assert_eq!(fault.value, 7);
+    }
+
+    #[test]
+    fn privacy_charges_surface_as_gauges_and_accounts() {
+        let tel = Telemetry::new();
+        tel.privacy_charge("ldp", "client[0]", 2.0, 1e-5);
+        tel.privacy_charge("ldp", "client[0]", 2.0, 1e-5);
+        tel.privacy_charge_zero("sa", "client[1]");
+        let accounts = tel.privacy_accounts();
+        assert_eq!(accounts.len(), 2);
+        assert!((accounts[0].eps_basic - 4.0).abs() < 1e-12);
+        assert_eq!(accounts[1].eps_composed, 0.0);
+        let gauge = tel
+            .metrics()
+            .into_iter()
+            .find(|m| m.name == "privacy.eps.ldp.client[0]")
+            .expect("charge publishes a gauge");
+        match gauge.data {
+            MetricData::Gauge(v) => assert!((v - 4.0).abs() < 1e-12),
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        let report = tel.privacy_report().dump();
+        assert!(report.contains("\"defense\":\"ldp\""));
+        assert!(report.contains("\"defense\":\"sa\""));
     }
 }

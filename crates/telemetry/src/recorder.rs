@@ -1,0 +1,282 @@
+//! Flight recorder: bounded per-thread rings of structured events for
+//! postmortem dumps.
+//!
+//! The metrics registry and span sink answer "how much / how long", but
+//! when a threaded FL round dies mid-flight (a client panic, a missed
+//! deadline, a quorum failure) they say nothing about *what each thread
+//! was doing just before*. The flight recorder fills that gap: every
+//! thread that records through an armed [`Telemetry`](crate::Telemetry)
+//! handle appends [`FlightEvent`]s to its own bounded ring (oldest events
+//! fall off the front), and a dump emits the union of all rings as sorted
+//! JSONL — the black-box tape for the crash investigation.
+//!
+//! # Determinism
+//!
+//! A dump must be byte-identical across `DINAR_THREADS` widths so the
+//! postmortem itself can be regression-tested. Three properties make the
+//! sorted dump width-independent even though ring *assignment* follows
+//! threads:
+//!
+//! 1. every event carries a `scope` (the innermost span path open on the
+//!    recording thread), so logically-distinct work sites never collide;
+//! 2. the sequence number is a per-ring ordinal **per `(kind, scope,
+//!    name)` tuple**, not a global counter — repeats of one logical event
+//!    stream always happen on one thread (a client's whole round runs in
+//!    one task), so their ordinals are scheduling-independent;
+//! 3. the dump sorts by the full event tuple, erasing ring identity.
+//!
+//! Timestamps come from the sink's injectable [`Clock`](crate::Clock);
+//! under a [`ManualClock`](crate::ManualClock) they are deterministic too.
+//!
+//! Recording is **disarmed by default**: an armed check is one relaxed
+//! atomic load, so instrumented hot paths pay nothing until a postmortem
+//! consumer (a test, `DINAR_FLIGHT=…`) arms the recorder.
+
+use dinar_tensor::json::{Json, ToJson};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Per-thread ring capacity: the "last N events" each thread keeps.
+pub const RING_CAPACITY: usize = 4096;
+
+/// One recorded event. The derived order — `(scope, kind, name, seq,
+/// t_us, value)` — is the canonical dump order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FlightEvent {
+    /// Innermost span path open on the recording thread ("" at top level).
+    pub scope: String,
+    /// Event class: `span_enter`, `span_exit`, `metric`, `fault`, `send`,
+    /// or a caller-defined tag.
+    pub kind: &'static str,
+    /// Event name within the class (span leaf name, counter name, …).
+    pub name: String,
+    /// Ordinal among events with this `(kind, scope, name)` on one ring.
+    pub seq: u64,
+    /// Clock reading when the event was recorded, in microseconds.
+    pub t_us: u64,
+    /// Event payload (span duration, counter delta, round number, …).
+    pub value: u64,
+}
+
+/// One thread's bounded tape plus its per-tuple ordinal counters.
+#[derive(Debug, Default)]
+struct ThreadRing {
+    events: VecDeque<FlightEvent>,
+    ordinals: BTreeMap<(&'static str, String, String), u64>,
+}
+
+impl ThreadRing {
+    fn push(&mut self, scope: String, kind: &'static str, name: String, t_us: u64, value: u64) {
+        let seq = {
+            let slot = self
+                .ordinals
+                .entry((kind, scope.clone(), name.clone()))
+                .or_insert(0);
+            let seq = *slot;
+            *slot += 1;
+            seq
+        };
+        if self.events.len() == RING_CAPACITY {
+            self.events.pop_front();
+        }
+        self.events.push_back(FlightEvent {
+            scope,
+            kind,
+            name,
+            seq,
+            t_us,
+            value,
+        });
+    }
+}
+
+/// Hands out process-unique recorder ids so thread-local ring caches can
+/// key on a value that is never reused (an `Arc` address could be).
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's rings, one per recorder it has recorded into.
+    static RINGS: RefCell<Vec<(u64, Arc<Mutex<ThreadRing>>)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// The per-thread-ring event recorder owned by an enabled telemetry sink.
+#[derive(Debug)]
+pub(crate) struct FlightRecorder {
+    id: u64,
+    armed: AtomicBool,
+    /// Every ring ever registered by a recording thread; dumps walk this.
+    registry: Mutex<Vec<Arc<Mutex<ThreadRing>>>>,
+}
+
+impl FlightRecorder {
+    pub(crate) fn new() -> Self {
+        FlightRecorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            armed: AtomicBool::new(false),
+            registry: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn arm(&self) {
+        self.armed.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn armed(&self) -> bool {
+        self.armed.load(Ordering::Relaxed)
+    }
+
+    /// This thread's ring for this recorder, registering one on first use.
+    fn ring(&self) -> Arc<Mutex<ThreadRing>> {
+        RINGS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, ring)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return ring.clone();
+            }
+            let ring = Arc::new(Mutex::new(ThreadRing::default()));
+            self.registry
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(ring.clone());
+            cache.push((self.id, ring.clone()));
+            ring
+        })
+    }
+
+    /// Records one event on the calling thread's ring (no-op unless armed).
+    pub(crate) fn record(
+        &self,
+        scope: &str,
+        kind: &'static str,
+        name: &str,
+        t_us: u64,
+        value: u64,
+    ) {
+        if !self.armed() {
+            return;
+        }
+        let ring = self.ring();
+        ring.lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(scope.to_string(), kind, name.to_string(), t_us, value);
+    }
+
+    /// All retained events across every ring, in canonical sorted order.
+    pub(crate) fn events(&self) -> Vec<FlightEvent> {
+        let rings: Vec<Arc<Mutex<ThreadRing>>> = self
+            .registry
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        let mut events = Vec::new();
+        for ring in rings {
+            let ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
+            events.extend(ring.events.iter().cloned());
+        }
+        events.sort();
+        events
+    }
+
+    /// The sorted dump as JSONL, one event per line with a fixed field
+    /// order — byte-identical across pool widths (module docs).
+    pub(crate) fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(
+                &Json::obj([
+                    ("scope", e.scope.to_json()),
+                    ("kind", e.kind.to_json()),
+                    ("name", e.name.to_json()),
+                    ("seq", e.seq.to_json()),
+                    ("t_us", e.t_us.to_json()),
+                    ("value", e.value.to_json()),
+                ])
+                .dump(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_recorder_records_nothing() {
+        let rec = FlightRecorder::new();
+        rec.record("", "metric", "x", 0, 1);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.dump_jsonl(), "");
+    }
+
+    #[test]
+    fn ordinals_count_per_tuple() {
+        let rec = FlightRecorder::new();
+        rec.arm();
+        rec.record("round[1]", "metric", "steps", 0, 1);
+        rec.record("round[1]", "metric", "steps", 0, 2);
+        rec.record("round[2]", "metric", "steps", 0, 3);
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!((events[0].seq, events[0].value), (0, 1));
+        assert_eq!((events[1].seq, events[1].value), (1, 2));
+        // Different scope restarts the ordinal stream.
+        assert_eq!((events[2].seq, events[2].value), (0, 3));
+    }
+
+    #[test]
+    fn dump_is_sorted_and_stable() {
+        let rec = FlightRecorder::new();
+        rec.arm();
+        rec.record("b", "fault", "crash", 7, 2);
+        rec.record("a", "send", "client[0]", 3, 1);
+        let dump = rec.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"scope\":\"a\""), "{dump}");
+        assert!(lines[1].contains("\"scope\":\"b\""), "{dump}");
+        assert_eq!(
+            lines[0],
+            r#"{"scope":"a","kind":"send","name":"client[0]","seq":0,"t_us":3,"value":1}"#
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let rec = FlightRecorder::new();
+        rec.arm();
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            rec.record("", "metric", "tick", i, i);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), RING_CAPACITY);
+        // The oldest 10 fell off the front.
+        assert_eq!(events[0].seq, 10);
+    }
+
+    #[test]
+    fn rings_from_many_threads_merge_into_one_dump() {
+        let rec = Arc::new({
+            let r = FlightRecorder::new();
+            r.arm();
+            r
+        });
+        // lint: allow(L006, dedicated test threads exercise per-thread rings)
+        std::thread::scope(|s| {
+            for t in 0..3usize {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    rec.record(&format!("client[{t}]"), "send", "update", 0, t as u64);
+                });
+            }
+        });
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].scope, "client[0]");
+        assert_eq!(events[2].scope, "client[2]");
+    }
+}

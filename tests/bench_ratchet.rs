@@ -1,7 +1,14 @@
-//! Perf ratchet for the tensor hot kernels: the committed
-//! `bench-results/BENCH_tensor.json` must keep showing the speedups the
-//! bulk-sampling + microkernel rewrite bought, measured against the
-//! pre-rewrite numbers frozen below.
+//! Perf ratchets over committed bench artifacts.
+//!
+//! Tensor kernels: the committed `bench-results/BENCH_tensor.json` must
+//! keep showing the speedups the bulk-sampling + microkernel rewrite
+//! bought, measured against the pre-rewrite numbers frozen below.
+//!
+//! Telemetry overhead: the committed `bench-results/BENCH_telemetry.json`
+//! must keep showing that a fully instrumented FL training run stays
+//! within [`TELEMETRY_OVERHEAD_CAP`] of the uninstrumented run —
+//! observation is near-free, so no experiment has a perf reason to turn
+//! telemetry off.
 //!
 //! Like `tests/param_plane.rs`, this ratchets the committed artifact rather
 //! than timing inside the test — test-process timing is too noisy to gate
@@ -23,12 +30,17 @@ const PRE_REWRITE_RANDN_100K_NS: f64 = 1_900_000.0;
 /// FMA microkernel (single thread, same runner).
 const PRE_REWRITE_MATMUL_128_NS: f64 = 285_970.0;
 
+/// Instrumented / uninstrumented FL-run ratio the committed telemetry
+/// bench must stay under: within 5%.
+const TELEMETRY_OVERHEAD_CAP: f64 = 1.05;
+
 fn load_entries(path: &Path) -> Vec<(String, String, f64)> {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
             "{} must be committed (regenerate with `DINAR_THREADS=1 cargo run \
-             --release -p dinar-bench --bin bench_tensor`): {e}",
-            path.display()
+             --release -p dinar-bench --bin bench_{}`): {e}",
+            path.display(),
+            if path.ends_with("BENCH_telemetry.json") { "telemetry" } else { "tensor" },
         )
     });
     let json = Json::parse(&text).expect("committed bench report parses");
@@ -56,7 +68,7 @@ fn ns_for(entries: &[(String, String, f64)], op: &str, size: &str) -> f64 {
     entries
         .iter()
         .find(|(o, s, _)| o == op && s == size)
-        .unwrap_or_else(|| panic!("BENCH_tensor.json has no {op}/{size} row"))
+        .unwrap_or_else(|| panic!("committed bench report has no {op}/{size} row"))
         .2
 }
 
@@ -82,6 +94,47 @@ fn microkernel_matmul_holds_2x_over_blocked_loops() {
         "matmul 128³ at {ns:.0} ns/iter is not ≥2× under the pre-rewrite \
          {PRE_REWRITE_MATMUL_128_NS:.0} ns/iter"
     );
+}
+
+#[test]
+fn instrumented_fl_run_stays_within_five_percent_of_uninstrumented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let entries = load_entries(&root.join("bench-results/BENCH_telemetry.json"));
+    let size = "2c2r";
+    let with_tel = ns_for(&entries, "fl_run_instrumented", size);
+    let without = ns_for(&entries, "fl_run_uninstrumented", size);
+    assert!(without > 0.0, "uninstrumented row is empty");
+    assert!(
+        with_tel <= without * TELEMETRY_OVERHEAD_CAP,
+        "instrumented FL run at {with_tel:.0} ns is {:.2}% over the \
+         uninstrumented {without:.0} ns — telemetry overhead broke the \
+         {TELEMETRY_OVERHEAD_CAP}x ratchet",
+        (with_tel / without - 1.0) * 100.0
+    );
+}
+
+#[test]
+fn telemetry_rows_cover_recorder_ledger_and_exporters() {
+    // The suite must keep pricing the observability primitives: the armed
+    // flight-recorder event, the deterministic counter, the span pair, the
+    // ledger charge, and both exporters. Bounds are sanity checks (well
+    // above measured values), not ratchets: a primitive that suddenly
+    // costs microseconds has lost its lock-free/O(1) implementation.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let entries = load_entries(&root.join("bench-results/BENCH_telemetry.json"));
+    for (op, size, max_ns) in [
+        ("flight_record", "1", 10_000.0),
+        ("counter_add", "1", 10_000.0),
+        ("span_enter_exit", "1", 50_000.0),
+        ("privacy_charge", "1", 10_000.0),
+        ("trace_export", "1024_spans", 1e9),
+        ("jsonl_export", "1024_spans", 1e9),
+        ("flight_dump", "4096_events", 1e9),
+    ] {
+        let ns = ns_for(&entries, op, size);
+        assert!(ns > 0.0, "{op} row is empty");
+        assert!(ns <= max_ns, "{op} at {ns:.0} ns/iter exceeds {max_ns:.0}");
+    }
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! Workspace lint gate: runs the `dinar-lint` ratchet as part of
-//! `cargo test`, so a new violation of any repo invariant (L001–L014)
-//! fails CI even if nobody ran the CLI. The semantic rules L010–L014 are
+//! `cargo test`, so a new violation of any repo invariant (L001–L016)
+//! fails CI even if nobody ran the CLI. The semantic rules L010–L016 are
 //! ratcheted at zero here (not via the baseline), and the baseline file
 //! itself is checked for unknown rule IDs and stale paths.
 
@@ -74,7 +74,7 @@ fn no_param_clone_in_param_plane_at_all() {
 
 #[test]
 fn semantic_rules_stay_at_zero() {
-    // L010–L015 run on the call-graph engine and start — and must stay —
+    // L010–L016 run on the call-graph engine and start — and must stay —
     // at zero; they guard the invariants the paper's correctness rests on:
     //   L010  clip-then-noise ordering (the DP sensitivity bound)
     //   L011  every RNG stream derives from plumbed config
@@ -82,6 +82,7 @@ fn semantic_rules_stay_at_zero() {
     //   L013  one global Mutex acquisition order
     //   L014  no float accumulation over unordered iteration
     //   L015  no scalar normal() draws inside loops (use the bulk fills)
+    //   L016  every defense transform reports to the privacy ledger
     use dinar_lint::rules::Rule;
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let (findings, _) = dinar_lint::check_against_baseline(root).expect("lint pass should run");
@@ -96,6 +97,7 @@ fn semantic_rules_stay_at_zero() {
                     | Rule::L013
                     | Rule::L014
                     | Rule::L015
+                    | Rule::L016
             )
         })
         .collect();
