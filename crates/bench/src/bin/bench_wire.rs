@@ -1,0 +1,170 @@
+//! Wire-plane byte metering over the threaded transport: records
+//! `bench-results/BENCH_wire.json`.
+//!
+//! The same seeded FL run (Purchase100-mini, 4 clients, ManualClock)
+//! executes once per uplink codec through [`run_threaded_wire`], with
+//! every frame crossing a uniform simulated network (5 ms latency,
+//! 1 MB/s). Each row records the bytes each direction moved per round,
+//! the uplink compression ratio against the raw-`f32` baseline, the
+//! simulated per-round makespan, and the final training loss — showing
+//! that the 1-bit and `i8` paths (delta encoding plus client-side
+//! error-feedback residuals) still learn while moving an order of
+//! magnitude fewer bytes.
+//!
+//! ```text
+//! cargo run --release -p dinar-bench --bin bench_wire
+//! ```
+//!
+//! Everything is seeded and the byte/frame/makespan columns are pure
+//! functions of the model architecture, codec and link parameters, so the
+//! artifact is bit-reproducible run to run;
+//! `tests/bench_ratchet.rs::wire_compression_ratio_holds` ratchets the
+//! sign1-vs-f32 uplink ratio at ≥8×.
+
+use dinar_bench::impl_to_json;
+use dinar_bench::report::{table, write_json};
+use dinar_data::catalog::{self, Profile};
+use dinar_data::partition::{partition_dataset, Distribution};
+use dinar_fl::clock::ManualClock;
+use dinar_fl::netsim::Codec;
+use dinar_fl::{
+    run_threaded_wire, FlConfig, FlSystem, NetworkModel, RoundPolicy, WireConfig,
+};
+use dinar_nn::models::{self, Activation};
+use dinar_nn::optim::Sgd;
+use dinar_tensor::Rng;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 4;
+const ROUNDS: usize = 8;
+
+struct WireRow {
+    codec: &'static str,
+    rounds: usize,
+    bytes_down_per_round: u64,
+    bytes_up_per_round: u64,
+    frames_per_round: u64,
+    /// Uplink bytes of the raw-f32 run divided by this run's — the
+    /// compression ratio the bench ratchet holds at ≥8× for sign1.
+    uplink_ratio_vs_f32: f64,
+    /// Simulated network makespan per round (slowest client path) in ms.
+    sim_ms_per_round: f64,
+    final_loss: f64,
+}
+
+impl_to_json!(WireRow {
+    codec,
+    rounds,
+    bytes_down_per_round,
+    bytes_up_per_round,
+    frames_per_round,
+    uplink_ratio_vs_f32,
+    sim_ms_per_round,
+    final_loss,
+});
+
+fn build_system() -> Result<FlSystem, Box<dyn std::error::Error>> {
+    let mut rng = Rng::seed_from(41);
+    let data = catalog::purchase100(Profile::Mini).generate(&mut rng)?;
+    let shards = partition_dataset(&data, CLIENTS, Distribution::Iid, &mut rng)?;
+    let arch = |rng: &mut Rng| models::mlp(&[600, 64, 100], Activation::ReLU, rng);
+    Ok(FlSystem::builder(FlConfig {
+        local_epochs: 1,
+        batch_size: 64,
+        seed: 7,
+    })
+    .clients_from_shards(shards, arch, |_| Box::new(Sgd::new(0.1)))?
+    .build()?)
+}
+
+fn run_codec(
+    name: &'static str,
+    uplink: Codec,
+) -> Result<WireRow, Box<dyn std::error::Error>> {
+    let wire = WireConfig::lossless()
+        .with_uplink(uplink)
+        .with_network(NetworkModel::uniform(Duration::from_millis(5), 1_000_000));
+    let run = run_threaded_wire(
+        build_system()?,
+        ROUNDS,
+        Arc::new(ManualClock::new()),
+        RoundPolicy::strict(),
+        wire,
+    )?;
+    let rounds = run.wire_stats.len().max(1) as u64;
+    let bytes_down: u64 = run.wire_stats.iter().map(|s| s.bytes_down).sum();
+    let bytes_up: u64 = run.wire_stats.iter().map(|s| s.bytes_up).sum();
+    let frames: u64 = run.wire_stats.iter().map(|s| s.frames).sum();
+    let sim_ms: f64 = run
+        .wire_stats
+        .iter()
+        .map(|s| s.sim_elapsed.as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / rounds as f64;
+    Ok(WireRow {
+        codec: name,
+        rounds: run.reports.len(),
+        bytes_down_per_round: bytes_down / rounds,
+        bytes_up_per_round: bytes_up / rounds,
+        frames_per_round: frames / rounds,
+        uplink_ratio_vs_f32: 1.0, // filled against the f32 row below
+        sim_ms_per_round: sim_ms,
+        final_loss: run
+            .reports
+            .last()
+            .map(|r| f64::from(r.mean_train_loss))
+            .unwrap_or(f64::NAN),
+    })
+}
+
+fn main() {
+    let codecs: [(&'static str, Codec); 3] = [
+        ("f32", Codec::F32),
+        ("sign1", Codec::Sign1),
+        ("quant_i8", Codec::QuantI8),
+    ];
+    let mut rows = Vec::new();
+    for (name, codec) in codecs {
+        match run_codec(name, codec) {
+            Ok(row) => rows.push(row),
+            Err(e) => {
+                eprintln!("wire bench failed for codec {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let f32_up = rows[0].bytes_up_per_round;
+    for row in &mut rows {
+        row.uplink_ratio_vs_f32 = f32_up as f64 / row.bytes_up_per_round.max(1) as f64;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.codec.to_string(),
+                r.rounds.to_string(),
+                r.bytes_down_per_round.to_string(),
+                r.bytes_up_per_round.to_string(),
+                r.frames_per_round.to_string(),
+                format!("{:.1}", r.uplink_ratio_vs_f32),
+                format!("{:.1}", r.sim_ms_per_round),
+                format!("{:.4}", r.final_loss),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["codec", "rounds", "down_B/rd", "up_B/rd", "frames/rd", "up_ratio", "sim_ms", "final_loss"],
+            &cells
+        )
+    );
+    match write_json("BENCH_wire", rows.as_slice()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_wire.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -56,6 +56,7 @@ mod error;
 pub mod eval;
 pub mod fault;
 pub mod middleware;
+pub mod netsim;
 pub mod server;
 pub mod system;
 pub mod trace;
@@ -65,9 +66,12 @@ pub use client::{ClientUpdate, FlClient};
 pub use error::FlError;
 pub use fault::{FaultKind, FaultPlan, Quorum, RetryPolicy, RoundFaultStats, RoundPolicy};
 pub use middleware::{ClientMiddleware, ServerMiddleware};
+pub use netsim::{ClientLink, LinkModel, NetworkModel, RoundWireStats, WireConfig};
 pub use server::FlServer;
 pub use system::{FlConfig, FlSystem, RoundReport};
-pub use transport::{run_threaded, run_threaded_resilient, run_threaded_with_clock, ResilientRun};
+pub use transport::{
+    run_threaded, run_threaded_resilient, run_threaded_wire, run_threaded_with_clock, ResilientRun,
+};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FlError>;

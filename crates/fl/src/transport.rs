@@ -26,21 +26,42 @@
 //! failures are retried per [`RetryPolicy`]. Deterministic fault schedules
 //! come from a [`FaultPlan`].
 //!
+//! # The wire plane
+//!
+//! Every model crossing a channel here is **encoded wire bytes**, not a
+//! parameter handle: the server encodes the global snapshot once per round
+//! (straight out of its copy-on-write buffers, no materialization) and
+//! broadcasts the same `Arc`'d frame to every client; each client decodes
+//! it, trains, and uploads an encoded frame back. [`WireConfig`] picks the
+//! codec per direction — lossless `f32`, 1-bit signs, or quantized `i8`
+//! deltas, with error-feedback residuals carried client-side — and a
+//! [`NetworkModel`](crate::netsim::NetworkModel) prices every transfer on
+//! a deterministic simulated network. Byte counts, frame counts and the
+//! simulated per-round makespan surface as `fl.transport.*` telemetry and
+//! in [`ResilientRun::wire_stats`]. A frame that fails to decode is typed
+//! data, not a panic: a corrupt broadcast fails that client
+//! ([`ClientReply::Fatal`]), a corrupt upload drops that update — the run
+//! reports, it does not abort.
+//!
 //! The two engines are behaviourally identical on a healthy system: client
 //! training is self-contained and the server sorts updates by client id
 //! before aggregating, so `run_threaded` produces bit-identical global
-//! models to the sequential engine given the same seeds, and keeps doing so
+//! models to the sequential engine given the same seeds (the default
+//! lossless codec moves exact `f32` bit patterns), and keeps doing so
 //! under an injected [`FaultPlan`] for any worker-pool width (asserted by
 //! the integration tests).
 
 use crate::clock::{Clock, WallClock};
 use crate::deadline::{recv_blocking, DeadlineReceiver, Step};
 use crate::fault::{FaultKind, FaultPlan, RoundFaultStats, RoundPolicy};
+use crate::netsim::{RoundMeter, RoundWireStats, WireConfig};
 use crate::{ClientUpdate, FlClient, FlError, FlSystem, Result, RoundReport};
 use dinar_metrics::cost::CostSample;
+use dinar_nn::snapshot::{decode_params, encode_params, ErrorFeedback};
 use dinar_nn::ModelParams;
-use dinar_telemetry::Telemetry;
+use dinar_telemetry::{bridge, Telemetry};
 use dinar_tensor::alloc::MemoryScope;
+use dinar_tensor::wire::Codec;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -50,24 +71,37 @@ use std::time::Duration;
 /// A message from the server to a client.
 #[derive(Debug)]
 pub enum ServerMsg {
-    /// Start (or retry) a round: here is the current global model.
+    /// Start (or retry) a round: here is the current global model as an
+    /// encoded wire frame. One frame is encoded per round and shared
+    /// (`Arc`) across the whole broadcast; each client decodes its own
+    /// copy-free view.
     StartRound {
         /// Round number (1-based).
         round: usize,
-        /// Global model parameters.
-        global: ModelParams,
+        /// The global snapshot, encoded under
+        /// [`WireConfig::downlink`].
+        frame: Arc<Vec<u8>>,
     },
     /// Training is over; the client thread should return its client state.
     Shutdown,
 }
 
-/// A completed client round: the update plus its per-round measurements.
+/// A completed client round: the encoded update plus its per-round
+/// measurements.
 #[derive(Debug)]
 pub struct ClientMsg {
     /// Round this update belongs to.
     pub round: usize,
-    /// The client's (defense-transformed) update.
-    pub update: ClientUpdate,
+    /// Uploading client's id.
+    pub client_id: usize,
+    /// Number of local training samples (FedAvg weight).
+    pub num_samples: usize,
+    /// The client's (defense-transformed) update, encoded under
+    /// [`WireConfig::uplink`].
+    pub frame: Vec<u8>,
+    /// Whether `frame` encodes a delta against the round's broadcast
+    /// global (lossy uplinks) rather than absolute parameters.
+    pub delta: bool,
     /// The client's mean training loss this round.
     pub train_loss: f32,
     /// Client-side wall-clock seconds spent this round.
@@ -138,6 +172,9 @@ pub struct ResilientRun {
     pub reports: Vec<RoundReport>,
     /// Per-round fault accounting, parallel to `reports`.
     pub fault_stats: Vec<RoundFaultStats>,
+    /// Per-round wire traffic and simulated network time, parallel to
+    /// `reports`.
+    pub wire_stats: Vec<RoundWireStats>,
 }
 
 /// Runs `rounds` FL rounds with one thread per client under the strict
@@ -201,6 +238,37 @@ pub fn run_threaded_resilient(
     clock: Arc<dyn Clock>,
     policy: RoundPolicy,
 ) -> Result<ResilientRun> {
+    run_threaded_wire(system, rounds, clock, policy, WireConfig::default())
+}
+
+/// The full-surface entry point: [`run_threaded_resilient`] under an
+/// explicit [`WireConfig`] — codec per direction plus the simulated
+/// network every frame crosses.
+///
+/// The default config (lossless `f32` both ways, ideal network) makes
+/// this identical to [`run_threaded_resilient`]: raw-`f32` frames carry
+/// exact bit patterns, so the decoded models match the in-process engines
+/// bit for bit. Lossy uplinks switch clients to encoding the *delta*
+/// against the received global, with error-feedback residuals carried
+/// client-side across rounds; the server reconstructs by adding back its
+/// own decode of the round's broadcast frame, so both sides agree on the
+/// base even when the downlink is itself lossy.
+///
+/// # Errors
+///
+/// Same conditions as [`run_threaded_resilient`], plus
+/// [`FlError::Nn`](crate::FlError) wrapping a wire error if the global
+/// snapshot cannot be encoded (architecture exceeding the wire's `u32`
+/// fields). Per-frame decode failures do **not** abort the run: a corrupt
+/// broadcast fails that client, a corrupt upload drops that update, and
+/// both land in the round's fault accounting.
+pub fn run_threaded_wire(
+    system: FlSystem,
+    rounds: usize,
+    clock: Arc<dyn Clock>,
+    policy: RoundPolicy,
+    wire: WireConfig,
+) -> Result<ResilientRun> {
     let telemetry = system.telemetry().clone();
     let (mut server, clients, rounds_before) = system.into_parts();
     let num_clients = clients.len();
@@ -238,7 +306,13 @@ pub fn run_threaded_resilient(
     // training run and speaks only through channels.
     let mut handles: Vec<ClientHandle> = Vec::with_capacity(num_clients);
     for client in clients {
-        handles.push(spawn_client(client, reply_tx.clone(), clock.clone(), plan.clone()));
+        handles.push(spawn_client(
+            client,
+            reply_tx.clone(),
+            clock.clone(),
+            plan.clone(),
+            wire.uplink,
+        ));
     }
     drop(reply_tx);
     // Client id → handle index, for retry dispatch and liveness checks.
@@ -250,10 +324,39 @@ pub fn run_threaded_resilient(
 
     let mut reports = Vec::with_capacity(rounds);
     let mut fault_stats = Vec::with_capacity(rounds);
+    let mut wire_stats = Vec::with_capacity(rounds);
     let mut error: Option<FlError> = None;
     'rounds: for r in 1..=rounds {
         let round_span = telemetry.span(&format!("round[{}]", rounds_before + r));
-        let global = server.global_params().clone();
+        // Encode the broadcast once, straight out of the snapshot's shared
+        // buffers; every client gets the same Arc'd frame.
+        let global = server.global_params().share();
+        let frame = {
+            let _espan = telemetry.span("encode");
+            match encode_params(&global, wire.downlink) {
+                Ok(bytes) => Arc::new(bytes),
+                Err(e) => {
+                    error = Some(e.into());
+                    break 'rounds;
+                }
+            }
+        };
+        // Base for reconstructing delta uploads: the server's own decode of
+        // the frame it broadcast, so lossy downlinks leave both sides
+        // agreeing on the base bit for bit. Lossless uplinks send absolute
+        // parameters and need no base.
+        let delta_base = if wire.uplink.is_lossy() {
+            match decode_params(&frame) {
+                Ok(base) => Some(base),
+                Err(e) => {
+                    error = Some(e.into());
+                    break 'rounds;
+                }
+            }
+        } else {
+            None
+        };
+        let mut meter = RoundMeter::new(&wire.network);
 
         // Broadcast to every client still alive; a failed send means the
         // thread is gone — account it as dropped instead of failing the run.
@@ -270,7 +373,7 @@ pub fn run_threaded_resilient(
                 }
                 let sent = handle.tx.send(ServerMsg::StartRound {
                     round: r,
-                    global: global.clone(),
+                    frame: frame.clone(),
                 });
                 if sent.is_err() {
                     handle.departed = true;
@@ -281,6 +384,7 @@ pub fn run_threaded_resilient(
                     ));
                 } else {
                     pending.insert(handle.id);
+                    meter.sent_down(handle.id, frame.len() as u64);
                 }
             }
         }
@@ -290,7 +394,7 @@ pub fn run_threaded_resilient(
         let round_start = clock.elapsed();
         let mut extension = Duration::ZERO;
         let mut retries: BTreeMap<usize, u32> = BTreeMap::new();
-        let mut updates: Vec<ClientMsg> = Vec::with_capacity(pending.len());
+        let mut updates: Vec<(ClientMsg, ClientUpdate)> = Vec::with_capacity(pending.len());
         let mut retried = 0usize;
         let mut stale = 0usize;
         let mut deadline_expired = false;
@@ -298,16 +402,39 @@ pub fn run_threaded_resilient(
             let _cspan = telemetry.span("collect");
             let drx = DeadlineReceiver::new(&reply_rx, clock.as_ref());
             while !pending.is_empty() {
-                let deadline = policy.deadline.map(|d| round_start + d + extension);
+                // The simulated network's slowest path extends the deadline:
+                // link transit time never counts against the compute budget.
+                let deadline = policy
+                    .deadline
+                    .map(|d| round_start + d + extension + meter.deadline_allowance());
                 match drx.step(deadline) {
                     Step::Msg(ClientReply::Update(msg)) => {
+                        // The link carried the frame whether or not the round
+                        // accepts it — meter before the tag check.
+                        meter.received_up(msg.client_id, msg.frame.len() as u64);
                         // Tag check: a straggler's stale round-r update can
                         // arrive during round r+1 once deadlines exist.
-                        if msg.round != r || !pending.remove(&msg.update.client_id) {
+                        if msg.round != r || !pending.remove(&msg.client_id) {
                             stale += 1;
                             continue;
                         }
-                        updates.push(msg);
+                        // Decode at the trust boundary: a frame that fails
+                        // validation is a dropped update, never an abort.
+                        match decode_update(&msg, delta_base.as_ref()) {
+                            Ok(update) => updates.push((msg, update)),
+                            Err(e) => {
+                                dropped += 1;
+                                telemetry.flight_record(
+                                    "wire",
+                                    "update_decode_failed",
+                                    msg.client_id as u64,
+                                );
+                                first_failure.get_or_insert((
+                                    msg.client_id,
+                                    format!("update frame failed to decode: {e}"),
+                                ));
+                            }
+                        }
                     }
                     Step::Msg(ClientReply::Dropped { client, round })
                     | Step::Msg(ClientReply::Delayed { client, round }) => {
@@ -328,10 +455,12 @@ pub fn run_threaded_resilient(
                             let resent = handle.map(|h| {
                                 h.tx.send(ServerMsg::StartRound {
                                     round: r,
-                                    global: global.clone(),
+                                    frame: frame.clone(),
                                 })
                             });
-                            if !matches!(resent, Some(Ok(()))) {
+                            if matches!(resent, Some(Ok(()))) {
+                                meter.sent_down(client, frame.len() as u64);
+                            } else {
                                 pending.remove(&client);
                                 dropped += 1;
                                 first_failure.get_or_insert((client, cause));
@@ -403,6 +532,22 @@ pub fn run_threaded_resilient(
         }
 
         record_round_telemetry(&telemetry, updates.len(), dropped, retried, stale);
+        let round_wire = meter.finish(rounds_before + r);
+        if telemetry.is_enabled() {
+            bridge::record_wire_round(
+                &telemetry,
+                round_wire.bytes_down,
+                round_wire.bytes_up,
+                round_wire.frames,
+            );
+            // Simulated makespan of the slowest client path this round —
+            // deterministic (a pure function of byte counts and the link
+            // parameters), unlike the wall-clock cost samples.
+            telemetry.gauge_set(
+                "fl.transport.sim_round_ms",
+                round_wire.sim_elapsed.as_secs_f64() * 1e3,
+            );
+        }
         if updates.len() < required {
             let (client, cause) = first_failure
                 .unwrap_or((0, "no client failure observed".into()));
@@ -423,13 +568,17 @@ pub fn run_threaded_resilient(
         // Deterministic aggregation order regardless of arrival order; the
         // loss/time folds also run in sorted order so their floating-point
         // sums replay bit-identically.
-        updates.sort_by_key(|m| m.update.client_id);
+        updates.sort_by_key(|(m, _)| m.client_id);
         let participants = updates.len();
-        let loss_sum: f64 = updates.iter().map(|m| m.train_loss as f64).sum();
-        let train_s_sum: f64 = updates.iter().map(|m| m.train_s).sum();
-        let peak_mem = updates.iter().map(|m| m.peak_mem_bytes).max().unwrap_or(0);
+        let loss_sum: f64 = updates.iter().map(|(m, _)| m.train_loss as f64).sum();
+        let train_s_sum: f64 = updates.iter().map(|(m, _)| m.train_s).sum();
+        let peak_mem = updates
+            .iter()
+            .map(|(m, _)| m.peak_mem_bytes)
+            .max()
+            .unwrap_or(0);
         let round_updates: Vec<ClientUpdate> =
-            updates.into_iter().map(|m| m.update).collect();
+            updates.into_iter().map(|(_, u)| u).collect();
         let t0 = clock.elapsed();
         let agg_result = {
             let _aspan = telemetry.span("aggregate");
@@ -460,6 +609,7 @@ pub fn run_threaded_resilient(
             stale_discarded: stale,
             deadline_expired,
         });
+        wire_stats.push(round_wire);
     }
 
     // Tear down the client threads and reassemble the system.
@@ -499,6 +649,28 @@ pub fn run_threaded_resilient(
         system,
         reports,
         fault_stats,
+        wire_stats,
+    })
+}
+
+/// Decodes and validates one client upload at the server's trust boundary,
+/// reconstructing absolute parameters from a delta frame by adding back
+/// `delta_base` (the server's decode of the round's broadcast).
+fn decode_update(msg: &ClientMsg, delta_base: Option<&ModelParams>) -> Result<ClientUpdate> {
+    let mut params = decode_params(&msg.frame)?;
+    if msg.delta {
+        let base = delta_base.ok_or_else(|| FlError::InvalidConfig {
+            reason: format!(
+                "client {} sent a delta update but the uplink codec is lossless",
+                msg.client_id
+            ),
+        })?;
+        params.add_assign(base)?;
+    }
+    Ok(ClientUpdate {
+        client_id: msg.client_id,
+        params,
+        num_samples: msg.num_samples,
     })
 }
 
@@ -507,15 +679,23 @@ pub fn run_threaded_resilient(
 /// [`ClientReply`]s. A [`FaultKind::Crash`] exits the thread silently —
 /// the server detects the death through its liveness check, exactly as it
 /// would a real panic.
+///
+/// The thread owns the client's wire state: it decodes each broadcast
+/// frame, and encodes its upload under `uplink` — absolute parameters for
+/// a lossless codec, the delta against the received global (with an
+/// [`ErrorFeedback`] residual carried across rounds) for a lossy one.
 fn spawn_client(
     mut client: FlClient,
     replies: Sender<ClientReply>,
     clock: Arc<dyn Clock>,
     plan: Arc<FaultPlan>,
+    uplink: Codec,
 ) -> ClientHandle {
     let id = client.id();
     let (tx, rx): (Sender<ServerMsg>, Receiver<ServerMsg>) = channel();
     let join = thread::spawn(move || -> Result<FlClient> {
+        let delta_mode = uplink.is_lossy();
+        let mut feedback = ErrorFeedback::new();
         // A Delay fault holds the finished round here until the next
         // StartRound flushes it — by then it is stale and the server's tag
         // check discards it, like a real straggler's late upload.
@@ -526,7 +706,7 @@ fn spawn_client(
         while let Some(msg) = recv_blocking(&rx) {
             match msg {
                 ServerMsg::Shutdown => break,
-                ServerMsg::StartRound { round, global } => {
+                ServerMsg::StartRound { round, frame } => {
                     if let Some(stale) = held.take() {
                         client
                             .telemetry()
@@ -568,6 +748,23 @@ fn spawn_client(
                         }
                         _ => {}
                     }
+                    // Decode the broadcast at the client's trust boundary: a
+                    // frame this client cannot decode is a fatal condition
+                    // for this client alone — report and exit, never panic.
+                    let global = match decode_params(&frame) {
+                        Ok(g) => g,
+                        Err(e) => {
+                            client
+                                .telemetry()
+                                .flight_record("wire", "broadcast_decode_failed", round as u64);
+                            let _ = replies.send(ClientReply::Fatal {
+                                client: id,
+                                round,
+                                cause: format!("broadcast frame failed to decode: {e}"),
+                            });
+                            return Ok(client);
+                        }
+                    };
                     let scope = MemoryScope::enter();
                     let t0 = clock.elapsed();
                     let _round_span = client.round_span(&format!("round[{round}]"));
@@ -587,15 +784,44 @@ fn spawn_client(
                             return Ok(client);
                         }
                         Ok((train_loss, update)) => {
+                            let train_s = clock.elapsed().saturating_sub(t0).as_secs_f64();
+                            let peak_mem_bytes = scope.peak_extra_bytes();
+                            // Encode the upload: absolute parameters over a
+                            // lossless uplink; otherwise the delta against
+                            // the received global, error-feedback
+                            // compensated. Encode failure is fatal for this
+                            // client, reported like any training error.
+                            let encoded = if delta_mode {
+                                update
+                                    .params
+                                    .sub(&global)
+                                    .and_then(|d| feedback.compress(&d, uplink))
+                            } else {
+                                encode_params(&update.params, uplink)
+                            };
+                            let upload = match encoded {
+                                Ok(bytes) => bytes,
+                                Err(e) => {
+                                    client
+                                        .telemetry()
+                                        .flight_record("wire", "encode_failed", round as u64);
+                                    let _ = replies.send(ClientReply::Fatal {
+                                        client: id,
+                                        round,
+                                        cause: format!("update frame failed to encode: {e}"),
+                                    });
+                                    return Ok(client);
+                                }
+                            };
                             let msg = ClientMsg {
                                 round,
-                                update,
+                                client_id: id,
+                                num_samples: update.num_samples,
+                                frame: upload,
+                                delta: delta_mode,
                                 train_loss,
-                                train_s: clock
-                                    .elapsed()
-                                    .saturating_sub(t0)
-                                    .as_secs_f64(),
-                                peak_mem_bytes: scope.peak_extra_bytes(),
+                                train_s,
+                                peak_mem_bytes,
                             };
                             // The server may already have given up on this
                             // round (or shut down); a closed channel just

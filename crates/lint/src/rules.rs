@@ -1,7 +1,7 @@
-//! The rule catalog: sixteen repo-specific invariants (L001–L016).
+//! The rule catalog: seventeen repo-specific invariants (L001–L017).
 //!
-//! L001–L009 are per-line rules: pure functions from preprocessed sources
-//! (or manifests) to [`Finding`]s. L010–L016 are cross-file/token-level
+//! L001–L009 and L017 are per-line rules: pure functions from preprocessed
+//! sources (or manifests) to [`Finding`]s. L010–L016 are cross-file/token-level
 //! semantic rules that run on the engine in [`crate::graph`]. Both layers are
 //! driven with inline fixtures by unit tests and with the real workspace by
 //! the CLI/umbrella gate.
@@ -54,6 +54,10 @@ pub enum Rule {
     /// Ledger coverage: every defense transform entry point must report to
     /// the privacy ledger (`privacy_charge` / `privacy_charge_zero`).
     L016,
+    /// Wire confinement: byte-level encode/decode stays inside the
+    /// sanctioned wire modules, which in turn use no silently-wrapping
+    /// `as` integer narrowing.
+    L017,
 }
 
 impl Rule {
@@ -77,6 +81,7 @@ impl Rule {
             Rule::L014 => "L014",
             Rule::L015 => "L015",
             Rule::L016 => "L016",
+            Rule::L017 => "L017",
         }
     }
 
@@ -99,6 +104,7 @@ impl Rule {
             Rule::L014 => "no arithmetic accumulation over unordered-container iteration",
             Rule::L015 => "no scalar normal() draws inside loops in defenses/param-plane code",
             Rule::L016 => "ledger-coverage: defense transforms must report to the privacy ledger",
+            Rule::L017 => "wire-confinement: byte codecs only in wire modules; no `as` narrowing there",
         }
     }
 
@@ -256,11 +262,25 @@ impl Rule {
                  genuinely cannot touch member data can annotate a body line with\n\
                  `// lint: allow(L016, reason)`."
             }
+            Rule::L017 => {
+                "L017 — wire confinement (per-line).\n\n\
+                 The wire format's safety story rests on one audited trust boundary:\n\
+                 every byte-level encode/decode lives in the sanctioned wire module\n\
+                 (`crates/tensor/src/wire.rs`), where length headers are bounds-checked\n\
+                 before allocation and every integer conversion is a checked `try_from`.\n\
+                 A stray `to_le_bytes`/`from_le_bytes` elsewhere is a second, unaudited\n\
+                 codec waiting to ship a truncation bug; a silently-wrapping `as u32`\n\
+                 inside a codec path is how a 5 GB tensor writes a length header of the\n\
+                 wrong size and a hostile header becomes a giant allocation. Outside the\n\
+                 wire modules, build on `dinar_tensor::wire::{ByteWriter, ByteReader}`;\n\
+                 inside them, convert with `try_from` or the checked `cast` helpers. A\n\
+                 genuinely-safe site can be annotated `// lint: allow(L017, reason)`."
+            }
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 16] {
+    pub fn all() -> [Rule; 17] {
         [
             Rule::L001,
             Rule::L002,
@@ -278,6 +298,7 @@ impl Rule {
             Rule::L014,
             Rule::L015,
             Rule::L016,
+            Rule::L017,
         ]
     }
 
@@ -396,6 +417,29 @@ pub const L009_FILES: [&str; 12] = [
     "crates/fl/src/middleware.rs",
 ];
 
+/// The sanctioned byte-codec modules: the only `/src/` files allowed to
+/// spell byte-level serialization (`to_le_bytes`/`from_le_bytes` and the
+/// big-endian variants), and conversely the files in which L017 bans
+/// silently-wrapping `as` integer narrowing outright — codec paths must
+/// convert with `try_from` or the checked `cast` helpers so corrupt length
+/// headers surface as typed errors, never as wrapped offsets.
+pub const L017_WIRE_FILES: [&str; 1] = ["crates/tensor/src/wire.rs"];
+
+/// Byte-serialization tokens confined to [`L017_WIRE_FILES`] by L017.
+const L017_BYTE_TOKENS: [&str; 4] = [
+    "to_le_bytes",
+    "from_le_bytes",
+    "to_be_bytes",
+    "from_be_bytes",
+];
+
+/// Narrowing-cast tokens banned *inside* [`L017_WIRE_FILES`] by L017.
+/// Wider than L004's hot-path list: in a codec, even `as usize` is a
+/// 32-bit-platform truncation on a wire-supplied length.
+const L017_NARROWING_TOKENS: [&str; 7] = [
+    "as u8", "as u16", "as u32", "as i8", "as i16", "as i32", "as usize",
+];
+
 /// Is `path` one of the sanctioned wall-clock modules exempt from L007?
 /// `clock.rs` files (the `Clock` implementations), `timing.rs` (the bench
 /// measurement loop), and the telemetry crate (which owns the clock
@@ -446,6 +490,7 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
     check_l007(path, &stripped, &mut findings);
     check_l008(path, &stripped, &mut findings);
     check_l009(path, &stripped, &mut findings);
+    check_l017(path, &stripped, &mut findings);
     findings
 }
 
@@ -638,6 +683,53 @@ fn check_l009(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
                           `lint: allow(L009, reason)` for non-parameter clones"
                     .to_string(),
             });
+        }
+    }
+}
+
+/// L017: byte-level encode/decode confined to the sanctioned wire modules
+/// ([`L017_WIRE_FILES`]); inside those modules, no silently-wrapping `as`
+/// integer narrowing. Both halves are word-bounded token scans, like L002.
+fn check_l017(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    if !path.contains("/src/") {
+        return; // integration tests, benches and examples are exempt
+    }
+    let in_wire = L017_WIRE_FILES.contains(&path);
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L017", n) {
+            continue;
+        }
+        if in_wire {
+            for token in L017_NARROWING_TOKENS {
+                for _ in 0..occurrences(line, token) {
+                    findings.push(Finding {
+                        rule: Rule::L017,
+                        file: path.to_string(),
+                        line: n,
+                        message: format!(
+                            "silently-wrapping `{token}` in a wire codec path; convert \
+                             with `try_from` or the checked `cast` helpers, or annotate \
+                             `lint: allow(L017, reason)`"
+                        ),
+                    });
+                }
+            }
+        } else {
+            for token in L017_BYTE_TOKENS {
+                for _ in 0..occurrences(line, token) {
+                    findings.push(Finding {
+                        rule: Rule::L017,
+                        file: path.to_string(),
+                        line: n,
+                        message: format!(
+                            "`{token}` outside the sanctioned wire module; byte-level \
+                             serialization belongs in dinar_tensor::wire (ByteWriter/\
+                             ByteReader), or annotate `lint: allow(L017, reason)`"
+                        ),
+                    });
+                }
+            }
         }
     }
 }
@@ -941,6 +1033,51 @@ mod tests {
                    #[cfg(test)]\nmod tests { fn t() { let c = p.clone(); } }\n";
         let findings = check_source("crates/fl/src/client.rs", src);
         assert!(findings.iter().all(|f| f.rule != Rule::L009), "{findings:?}");
+    }
+
+    #[test]
+    fn l017_confines_byte_codecs_to_wire_modules() {
+        let src = "fn f(x: u32) { let b = x.to_le_bytes(); \
+                   let y = u32::from_le_bytes(b); let z = x.to_be_bytes(); }";
+        let hits = check_source("crates/fl/src/transport.rs", src)
+            .iter()
+            .filter(|f| f.rule == Rule::L017)
+            .count();
+        assert_eq!(hits, 3);
+        // The sanctioned wire module may serialize bytes freely.
+        for wire in L017_WIRE_FILES {
+            let findings = check_source(wire, src);
+            assert!(findings.iter().all(|f| f.rule != Rule::L017), "{wire}");
+        }
+        // Integration tests are exempt (they exercise corrupt streams).
+        let findings = check_source("tests/wire_plane.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L017));
+    }
+
+    #[test]
+    fn l017_bans_narrowing_casts_inside_wire_modules() {
+        let src = "fn f(n: usize) { let a = n as u32; let b = n as u64; \
+                   let c = len as usize; let d = x as i8; }";
+        let hits = check_source("crates/tensor/src/wire.rs", src)
+            .iter()
+            .filter(|f| f.rule == Rule::L017)
+            .count();
+        assert_eq!(hits, 3); // `as u64` widens and is allowed
+        // Outside the wire module, narrowing is L004's (hot-path) concern.
+        let findings = check_source("crates/fl/src/netsim.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L017));
+    }
+
+    #[test]
+    fn l017_skips_tests_and_allows() {
+        let src = "let b = x.to_le_bytes(); // lint: allow(L017, test fixture builder)\n\
+                   #[cfg(test)]\nmod tests { fn t() { let b = x.to_le_bytes(); } }\n";
+        let findings = check_source("crates/metrics/src/trace.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L017), "{findings:?}");
+        let src = "let n = len as usize; // lint: allow(L017, bounded just above)\n\
+                   #[cfg(test)]\nmod tests { fn t() { let n = len as u32; } }\n";
+        let findings = check_source("crates/tensor/src/wire.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L017), "{findings:?}");
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use dinar_tensor::wire::WireError;
 use dinar_tensor::TensorError;
 use std::fmt;
 
@@ -44,6 +45,8 @@ pub enum NnError {
         /// Human-readable description.
         reason: String,
     },
+    /// A wire-format encode/decode of a parameter snapshot failed.
+    Wire(WireError),
 }
 
 impl fmt::Display for NnError {
@@ -66,6 +69,7 @@ impl fmt::Display for NnError {
             NnError::ParamShapeMismatch { reason } => {
                 write!(f, "parameter shape mismatch: {reason}")
             }
+            NnError::Wire(e) => write!(f, "wire codec error: {e}"),
         }
     }
 }
@@ -74,6 +78,7 @@ impl std::error::Error for NnError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             NnError::Tensor(e) => Some(e),
+            NnError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -82,6 +87,12 @@ impl std::error::Error for NnError {
 impl From<TensorError> for NnError {
     fn from(e: TensorError) -> Self {
         NnError::Tensor(e)
+    }
+}
+
+impl From<WireError> for NnError {
+    fn from(e: WireError) -> Self {
+        NnError::Wire(e)
     }
 }
 

@@ -58,6 +58,7 @@ pub mod norm;
 pub mod optim;
 pub mod params;
 pub mod pool;
+pub mod snapshot;
 pub mod view;
 
 pub use error::NnError;

@@ -53,6 +53,19 @@ pub fn record_scope_peak(tel: &Telemetry, name: &str, scope: &alloc::MemoryScope
     tel.gauge_max_volatile(name, scope.peak_extra_bytes() as f64);
 }
 
+/// Records one round of wire-plane traffic under the stable
+/// `fl.transport.*` names. Byte and frame counts are functions of the
+/// model architecture and the codec alone — independent of pool width,
+/// arrival order and wall time — so they land as deterministic counters.
+pub fn record_wire_round(tel: &Telemetry, bytes_down: u64, bytes_up: u64, frames: u64) {
+    if !tel.is_enabled() {
+        return;
+    }
+    tel.counter_add("fl.transport.bytes_down", bytes_down);
+    tel.counter_add("fl.transport.bytes_up", bytes_up);
+    tel.counter_add("fl.transport.frames", frames);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,10 +122,34 @@ mod tests {
     }
 
     #[test]
+    fn wire_round_lands_as_deterministic_counters() {
+        let tel = Telemetry::with_clock(Arc::new(ManualClock::new()));
+        record_wire_round(&tel, 1000, 250, 8);
+        record_wire_round(&tel, 1000, 250, 8);
+        for (name, want) in [
+            ("fl.transport.bytes_down", 2000),
+            ("fl.transport.bytes_up", 500),
+            ("fl.transport.frames", 16),
+        ] {
+            let m = tel
+                .metrics()
+                .into_iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert!(!m.volatile, "{name} must be deterministic");
+            match m.data {
+                MetricData::Counter(v) => assert_eq!(v, want, "{name}"),
+                ref other => panic!("expected counter, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn bridges_are_noops_when_disabled() {
         let tel = Telemetry::disabled();
         record_kernel_delta(&tel, &profile::snapshot());
         record_alloc_gauges(&tel);
+        record_wire_round(&tel, 1, 1, 1);
         assert!(tel.metrics().is_empty());
     }
 }

@@ -17,6 +17,29 @@ pub fn len_to_f32(n: usize) -> f32 {
     n as f32 // lint: allow(L004, the checked-cast helper itself)
 }
 
+/// Converts a length/count to `f64` for averaging.
+///
+/// Exact for values up to 2⁵³, which covers every in-memory length.
+#[inline]
+pub fn len_to_f64(n: usize) -> f64 {
+    n as f64 // lint: allow(L004, the checked-cast helper itself)
+}
+
+/// Quantizes a rounded ratio to a saturating signed 8-bit level, the
+/// checked narrowing the wire codec's i8 path routes through (lint rule
+/// L017 bans bare narrowing casts in codec paths).
+///
+/// Non-finite inputs map to level 0 — a NaN-poisoned element must not
+/// produce an undefined cast.
+#[inline]
+pub fn f32_to_i8_sat(x: f32) -> i8 {
+    if !x.is_finite() {
+        return 0;
+    }
+    let clamped = x.round().clamp(-127.0, 127.0);
+    clamped as i8 // lint: allow(L004, clamped to the i8 range just above)
+}
+
 /// Explicit precision-narrowing conversion from `f64` to `f32`.
 ///
 /// Verifies under `debug_assertions` that a finite input stays finite
@@ -79,6 +102,19 @@ mod tests {
     fn idx_roundtrip() {
         assert_eq!(idx_to_usize(7), 7);
         assert_eq!(idx_to_usize(0), 0);
+    }
+
+    #[test]
+    fn i8_saturation_and_non_finite_handling() {
+        assert_eq!(f32_to_i8_sat(0.0), 0);
+        assert_eq!(f32_to_i8_sat(0.4), 0);
+        assert_eq!(f32_to_i8_sat(0.6), 1);
+        assert_eq!(f32_to_i8_sat(-126.7), -127);
+        assert_eq!(f32_to_i8_sat(127.0), 127);
+        assert_eq!(f32_to_i8_sat(1e9), 127);
+        assert_eq!(f32_to_i8_sat(-1e9), -127);
+        assert_eq!(f32_to_i8_sat(f32::NAN), 0);
+        assert_eq!(f32_to_i8_sat(f32::INFINITY), 0);
     }
 
     #[test]

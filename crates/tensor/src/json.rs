@@ -10,9 +10,14 @@
 //!
 //! Numbers are stored as `f64`. `f32` payloads round-trip exactly: the
 //! `f32 → f64` widening is lossless and the emitter prints the shortest
-//! decimal form that re-parses to the same `f64`. Non-finite numbers have
-//! no JSON representation and are emitted as `null` (matching what
-//! `serde_json` does).
+//! decimal form that re-parses to the same `f64` (subnormals included).
+//! Non-finite numbers have no representation in standard JSON, but the
+//! wire plane and the golden snapshots must not lose them: the emitter
+//! prints the bare tokens `NaN` / `-NaN` / `Infinity` / `-Infinity`
+//! (sign-preserving, canonical quiet-NaN payload) and the parser accepts
+//! them back, so every f32 — finite or not — survives emit→parse
+//! bit-exactly. Finite values emit standard JSON, so documents without
+//! non-finite numbers remain fully interoperable.
 //!
 //! # Example
 //!
@@ -346,9 +351,13 @@ fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
 }
 
 fn write_number(out: &mut String, x: f64) {
-    if !x.is_finite() {
-        // JSON has no NaN/Inf; mirror serde_json's behavior.
-        out.push_str("null");
+    if x.is_nan() {
+        // Standard JSON has no NaN; emitting `null` (serde_json's choice)
+        // destroys the value on round-trip, which the wire plane cannot
+        // afford. Emit a sign-preserving bare token the parser accepts.
+        out.push_str(if x.is_sign_negative() { "-NaN" } else { "NaN" });
+    } else if x.is_infinite() {
+        out.push_str(if x < 0.0 { "-Infinity" } else { "Infinity" });
     } else if x == 0.0 && x.is_sign_negative() {
         // The integral fast path would drop the sign bit of -0.0.
         out.push_str("-0.0");
@@ -426,6 +435,14 @@ impl<'a> Parser<'a> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
+            Some(b'N') => self.literal("NaN", Json::Num(f64::NAN)),
+            Some(b'I') => self.literal("Infinity", Json::Num(f64::INFINITY)),
+            Some(b'-') if self.bytes.get(self.pos + 1) == Some(&b'N') => {
+                self.literal("-NaN", Json::Num(-f64::NAN))
+            }
+            Some(b'-') if self.bytes.get(self.pos + 1) == Some(&b'I') => {
+                self.literal("-Infinity", Json::Num(f64::NEG_INFINITY))
+            }
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
@@ -659,9 +676,56 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_numbers_emit_null() {
-        assert_eq!(Json::Num(f64::NAN).dump(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).dump(), "null");
+    fn non_finite_numbers_emit_bare_tokens() {
+        assert_eq!(Json::Num(f64::NAN).dump(), "NaN");
+        assert_eq!(Json::Num(-f64::NAN).dump(), "-NaN");
+        assert_eq!(Json::Num(f64::INFINITY).dump(), "Infinity");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).dump(), "-Infinity");
+    }
+
+    #[test]
+    fn non_finite_and_subnormal_f32_roundtrip_bit_exactly() {
+        // The wire plane serializes raw parameter bits; every f32 — quiet
+        // NaNs of both signs, infinities, subnormals at both ends of the
+        // range, signed zeros and the finite extremes — must survive
+        // emit→parse with its exact bit pattern.
+        let values: Vec<f32> = vec![
+            f32::NAN,
+            -f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::from_bits(0x0000_0001), // smallest positive subnormal
+            f32::from_bits(0x007F_FFFF), // largest subnormal
+            f32::from_bits(0x8000_0001), // smallest negative subnormal
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+            0.0,
+            -0.0,
+        ];
+        let text = values.to_json().dump();
+        let back = Json::parse(&text).unwrap();
+        let parsed: Vec<u32> = back
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|v| (v.as_f64().unwrap() as f32).to_bits())
+            .collect();
+        let expect: Vec<u32> = values.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(parsed, expect);
+    }
+
+    #[test]
+    fn non_finite_tokens_parse_inside_structures() {
+        let v = Json::parse("{\"a\": [NaN, -Infinity], \"b\": Infinity}").unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert!(arr[0].as_f64().unwrap().is_nan());
+        assert_eq!(arr[1].as_f64(), Some(f64::NEG_INFINITY));
+        assert_eq!(v.get("b").unwrap().as_f64(), Some(f64::INFINITY));
+        // Truncated tokens are still rejected.
+        for bad in ["Na", "-Inf", "Infinit", "NaNx"] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod profile;
 pub mod rng;
 pub mod sanitize;
 mod tensor;
+pub mod wire;
 
 pub use cbrng::CbRng;
 pub use error::TensorError;

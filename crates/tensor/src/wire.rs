@@ -1,0 +1,863 @@
+//! Zero-copy binary wire codec for tensor payloads.
+//!
+//! The FL transport needs a serialized representation of model parameters:
+//! byte-metered rounds, compressed update exchange and the simulated
+//! network all operate on wire bytes, not on in-process `ModelParams`
+//! handles. This module defines that format at the tensor level; the
+//! model-level framing (layer/tensor structure) lives in
+//! `dinar_nn::snapshot` and is built from these primitives.
+//!
+//! # Zero-copy contract
+//!
+//! Encoding reads straight out of the tensor's copy-on-write `Arc` buffer
+//! via [`Tensor::as_slice`] — it never materializes a private copy, so
+//! encoding a snapshot taken with `share()` costs the serialization pass
+//! and nothing else. Decoding builds exactly one fresh buffer per tensor,
+//! which is then shared by refcount like any other tensor storage.
+//!
+//! # Format
+//!
+//! All integers are little-endian. A payload stream opens with a header —
+//! magic [`MAGIC`], format version u16, codec tag u8 — written and read by
+//! [`write_header`]/[`read_header`]. Each tensor frame is:
+//!
+//! ```text
+//! rank: u32, dims: rank × u32, payload (per codec)
+//! ```
+//!
+//! Codec payloads:
+//!
+//! * [`Codec::F32`] — lossless: `len × u32` raw IEEE-754 bit patterns.
+//!   `decode(encode(x))` is bit-identical for every value, NaN payloads
+//!   and signed zeros included.
+//! * [`Codec::Sign1`] — 1-bit sign compression (signSGD-style): one f32
+//!   scale (the mean |x|, accumulated sequentially in f64 so the scale is
+//!   identical for any worker-pool width), then `ceil(len/8)` bytes of
+//!   LSB-first sign bits (1 = non-negative). Decodes to `±scale`.
+//! * [`Codec::QuantI8`] — linear 8-bit quantization: one f32 scale
+//!   (`max |x| / 127`), then `len` i8 levels. Decodes to `level × scale`.
+//!
+//! # Hardening
+//!
+//! Every read is bounds-checked: truncated buffers, oversized length
+//! headers, unknown tags and nonzero padding bits all surface as typed
+//! [`WireError`]s — a corrupted stream can never panic the decoder or make
+//! it allocate unbounded memory (payload byte counts are validated against
+//! the remaining buffer *before* any allocation). Integer narrowing goes
+//! through `try_from` or the checked helpers in [`crate::cast`]; lint rule
+//! L017 keeps byte-level (de)serialization confined to this module and
+//! bans bare narrowing casts inside it.
+
+use crate::{cast, Tensor};
+use std::fmt;
+
+/// Leading magic of every wire stream: `DNWR` ("DINAR wire").
+pub const MAGIC: [u8; 4] = *b"DNWR";
+
+/// Current wire format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Maximum tensor rank the decoder accepts. Nothing in the model zoo
+/// exceeds rank 4; 8 leaves headroom while keeping a corrupted rank header
+/// from driving a 4-billion-iteration dim loop.
+pub const MAX_RANK: usize = 8;
+
+/// Error produced by the wire codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        need: usize,
+        /// Bytes actually remaining.
+        have: usize,
+    },
+    /// Bytes remained after the final frame was decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: usize,
+    },
+    /// The stream does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The stream's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// The version found.
+        found: u16,
+    },
+    /// The codec tag byte is not in the catalog.
+    UnknownCodec {
+        /// The tag found.
+        tag: u8,
+    },
+    /// A length header (rank, dim, element count, byte count) exceeds what
+    /// this platform / format can represent.
+    LengthOverflow {
+        /// Which quantity overflowed.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+    /// Declared element count and decoded payload disagree.
+    ShapeMismatch {
+        /// Elements the shape header declares.
+        declared: usize,
+        /// Elements the payload actually produced.
+        actual: usize,
+    },
+    /// Padding bits past the last packed element were not zero.
+    NonzeroPadding {
+        /// Byte offset of the offending padding byte within the payload.
+        at: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated wire buffer: read needs {need} bytes, {have} remain")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the final wire frame")
+            }
+            WireError::BadMagic { found } => {
+                write!(f, "bad wire magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            WireError::UnsupportedVersion { found } => {
+                write!(f, "unsupported wire format version {found} (expected {FORMAT_VERSION})")
+            }
+            WireError::UnknownCodec { tag } => write!(f, "unknown wire codec tag {tag:#04x}"),
+            WireError::LengthOverflow { what, value } => {
+                write!(f, "wire length header overflow: {what} = {value}")
+            }
+            WireError::ShapeMismatch { declared, actual } => {
+                write!(
+                    f,
+                    "wire shape mismatch: header declares {declared} element(s), payload \
+                     decoded {actual}"
+                )
+            }
+            WireError::NonzeroPadding { at } => {
+                write!(f, "nonzero padding bit(s) at payload byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Codec result alias.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// The update encodings the wire format supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Codec {
+    /// Lossless raw f32 bit patterns (4 bytes/element).
+    F32,
+    /// 1-bit sign compression with a shared f32 scale (~1 bit/element).
+    Sign1,
+    /// Linear 8-bit quantization with a shared f32 scale (1 byte/element).
+    QuantI8,
+}
+
+impl Codec {
+    /// The codec's wire tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            Codec::F32 => 0x00,
+            Codec::Sign1 => 0x01,
+            Codec::QuantI8 => 0x02,
+        }
+    }
+
+    /// Looks a codec up by its wire tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnknownCodec`] for a tag outside the catalog.
+    pub fn from_tag(tag: u8) -> WireResult<Codec> {
+        match tag {
+            0x00 => Ok(Codec::F32),
+            0x01 => Ok(Codec::Sign1),
+            0x02 => Ok(Codec::QuantI8),
+            _ => Err(WireError::UnknownCodec { tag }),
+        }
+    }
+
+    /// Stable lowercase name for telemetry labels and bench rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::F32 => "f32",
+            Codec::Sign1 => "sign1",
+            Codec::QuantI8 => "qi8",
+        }
+    }
+
+    /// Whether decode(encode(x)) can differ from `x`.
+    pub fn is_lossy(self) -> bool {
+        !matches!(self, Codec::F32)
+    }
+
+    /// All codecs, in tag order.
+    pub fn all() -> [Codec; 3] {
+        [Codec::F32, Codec::Sign1, Codec::QuantI8]
+    }
+}
+
+/// Converts a wire `u32` length field to a `usize` index.
+fn len_to_usize(x: u32, what: &'static str) -> WireResult<usize> {
+    usize::try_from(x).map_err(|_| WireError::LengthOverflow {
+        what,
+        value: u64::from(x),
+    })
+}
+
+/// Converts an in-memory count to a wire `u32` length field.
+fn len_to_u32(n: usize, what: &'static str) -> WireResult<u32> {
+    u32::try_from(n).map_err(|_| WireError::LengthOverflow {
+        what,
+        value: u64::try_from(n).unwrap_or(u64::MAX),
+    })
+}
+
+/// An append-only little-endian byte sink for wire frames.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// An empty writer with `capacity` bytes pre-reserved (pair with
+    /// [`encoded_tensor_len`] to make encoding a single allocation).
+    pub fn with_capacity(capacity: usize) -> ByteWriter {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, x: u16) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends an `i8` as its raw byte.
+    pub fn put_i8(&mut self, x: i8) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its raw little-endian IEEE-754 bit pattern
+    /// (bit-exact for NaN payloads and signed zeros).
+    pub fn put_f32(&mut self, x: f32) {
+        self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+}
+
+/// A bounds-checked little-endian reader over a wire buffer.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on an exhausted buffer.
+    pub fn read_u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on an exhausted buffer.
+    pub fn read_u16(&mut self) -> WireResult<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on an exhausted buffer.
+    pub fn read_u32(&mut self) -> WireResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on an exhausted buffer.
+    pub fn read_u64(&mut self) -> WireResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `i8` from its raw byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on an exhausted buffer.
+    pub fn read_i8(&mut self) -> WireResult<i8> {
+        Ok(i8::from_le_bytes([self.take(1)?[0]]))
+    }
+
+    /// Reads an `f32` bit pattern (bit-exact, NaN payloads included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::Truncated`] on an exhausted buffer.
+    pub fn read_f32(&mut self) -> WireResult<f32> {
+        Ok(f32::from_bits(self.read_u32()?))
+    }
+
+    /// Asserts the buffer is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::TrailingBytes`] if bytes remain.
+    pub fn finish(&self) -> WireResult<()> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Writes the stream header: magic, format version, codec tag.
+pub fn write_header(w: &mut ByteWriter, codec: Codec) {
+    w.put_bytes(&MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_u8(codec.tag());
+}
+
+/// Byte length of the stream header.
+pub const HEADER_LEN: usize = 7;
+
+/// Reads and validates the stream header, returning the codec.
+///
+/// # Errors
+///
+/// Returns [`WireError::BadMagic`], [`WireError::UnsupportedVersion`],
+/// [`WireError::UnknownCodec`] or [`WireError::Truncated`].
+pub fn read_header(r: &mut ByteReader<'_>) -> WireResult<Codec> {
+    let m = r.take(4)?;
+    if m != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [m[0], m[1], m[2], m[3]],
+        });
+    }
+    let version = r.read_u16()?;
+    if version != FORMAT_VERSION {
+        return Err(WireError::UnsupportedVersion { found: version });
+    }
+    Codec::from_tag(r.read_u8()?)
+}
+
+/// Exact encoded byte length of one tensor frame under `codec` — the shape
+/// header plus the codec payload. Use for buffer pre-sizing and for byte
+/// metering without encoding.
+pub fn encoded_tensor_len(t: &Tensor, codec: Codec) -> usize {
+    let len = t.len();
+    let header = 4 + 4 * t.shape().len();
+    let payload = match codec {
+        Codec::F32 => 4 * len,
+        Codec::Sign1 => 4 + len.div_ceil(8),
+        Codec::QuantI8 => 4 + len,
+    };
+    header + payload
+}
+
+/// Encodes one tensor frame, reading directly from the tensor's shared
+/// buffer (no copy-on-write materialization).
+///
+/// # Errors
+///
+/// Returns [`WireError::LengthOverflow`] if the rank or a dimension does
+/// not fit the `u32` wire fields.
+pub fn encode_tensor(t: &Tensor, codec: Codec, w: &mut ByteWriter) -> WireResult<()> {
+    let shape = t.shape();
+    w.put_u32(len_to_u32(shape.len(), "rank")?);
+    for &d in shape {
+        w.put_u32(len_to_u32(d, "dim")?);
+    }
+    let xs = t.as_slice();
+    match codec {
+        Codec::F32 => {
+            for &x in xs {
+                w.put_f32(x);
+            }
+        }
+        Codec::Sign1 => {
+            w.put_f32(sign1_scale(xs));
+            for chunk in xs.chunks(8) {
+                let mut byte = 0u8;
+                for (bit, &x) in chunk.iter().enumerate() {
+                    if x.is_sign_positive() {
+                        byte |= 1 << bit;
+                    }
+                }
+                w.put_u8(byte);
+            }
+        }
+        Codec::QuantI8 => {
+            let scale = quant_scale(xs);
+            w.put_f32(scale);
+            let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+            for &x in xs {
+                w.put_i8(cast::f32_to_i8_sat(x * inv));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes one tensor frame into fresh shared storage.
+///
+/// Validates the shape header and the payload byte budget against the
+/// remaining buffer *before* allocating, so an overflowing length header
+/// is rejected rather than honored.
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] for any truncated, oversized or corrupt
+/// frame; never panics.
+pub fn decode_tensor(r: &mut ByteReader<'_>, codec: Codec) -> WireResult<Tensor> {
+    let rank = len_to_usize(r.read_u32()?, "rank")?;
+    if rank > MAX_RANK {
+        return Err(WireError::LengthOverflow {
+            what: "rank",
+            value: u64::try_from(rank).unwrap_or(u64::MAX),
+        });
+    }
+    let mut shape = Vec::with_capacity(rank);
+    let mut len = 1usize;
+    for _ in 0..rank {
+        let d = len_to_usize(r.read_u32()?, "dim")?;
+        len = len
+            .checked_mul(d)
+            .ok_or(WireError::LengthOverflow {
+                what: "element count",
+                value: u64::MAX,
+            })?;
+        shape.push(d);
+    }
+    let data = match codec {
+        Codec::F32 => {
+            let bytes = r.take(len.checked_mul(4).ok_or(WireError::LengthOverflow {
+                what: "payload bytes",
+                value: u64::MAX,
+            })?)?;
+            let mut data = Vec::with_capacity(len);
+            for b in bytes.chunks_exact(4) {
+                data.push(f32::from_bits(u32::from_le_bytes([b[0], b[1], b[2], b[3]])));
+            }
+            data
+        }
+        Codec::Sign1 => {
+            let scale = r.read_f32()?;
+            let packed = r.take(len.div_ceil(8))?;
+            let mut data = Vec::with_capacity(len);
+            for (i, &byte) in packed.iter().enumerate() {
+                let used = (len - 8 * i).min(8);
+                // A corrupted tail byte with stray high bits would decode
+                // "successfully" under a laxer reader; reject it.
+                if used < 8 && byte >> used != 0 {
+                    return Err(WireError::NonzeroPadding { at: i });
+                }
+                for bit in 0..used {
+                    data.push(if byte >> bit & 1 == 1 { scale } else { -scale });
+                }
+            }
+            data
+        }
+        Codec::QuantI8 => {
+            let scale = r.read_f32()?;
+            let bytes = r.take(len)?;
+            let mut data = Vec::with_capacity(len);
+            for &b in bytes {
+                data.push(f32::from(i8::from_le_bytes([b])) * scale);
+            }
+            data
+        }
+    };
+    let actual = data.len();
+    Tensor::from_vec(data, &shape).map_err(|_| WireError::ShapeMismatch {
+        declared: len,
+        actual,
+    })
+}
+
+/// The Sign1 shared scale: mean |x|, accumulated sequentially in f64 so
+/// the result is bit-identical for any worker-pool width. Non-finite
+/// entries contribute nothing (a NaN-poisoned update must not produce a
+/// NaN scale that wipes out the whole tensor on decode).
+fn sign1_scale(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sum = 0.0f64;
+    for &x in xs {
+        if x.is_finite() {
+            sum += f64::from(x).abs();
+        }
+    }
+    cast::f64_to_f32(sum / cast::len_to_f64(xs.len()))
+}
+
+/// The QuantI8 shared scale: max |x| / 127 over the finite entries.
+fn quant_scale(xs: &[f32]) -> f32 {
+    let mut max_abs = 0.0f32;
+    for &x in xs {
+        if x.is_finite() {
+            max_abs = max_abs.max(x.abs());
+        }
+    }
+    max_abs / 127.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    fn roundtrip(t: &Tensor, codec: Codec) -> Tensor {
+        let mut w = ByteWriter::with_capacity(encoded_tensor_len(t, codec));
+        encode_tensor(t, codec, &mut w).unwrap();
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), encoded_tensor_len(t, codec), "predicted len");
+        let mut r = ByteReader::new(&bytes);
+        let back = decode_tensor(&mut r, codec).unwrap();
+        r.finish().unwrap();
+        back
+    }
+
+    #[test]
+    fn writer_reader_primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xAB);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_i8(-100);
+        w.put_f32(f32::from_bits(0x7FC0_1234)); // NaN with payload
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        assert_eq!(r.read_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.read_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.read_i8().unwrap(), -100);
+        assert_eq!(r.read_f32().unwrap().to_bits(), 0x7FC0_1234);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_reports_truncation_and_trailing() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert_eq!(
+            r.read_u32().unwrap_err(),
+            WireError::Truncated { need: 4, have: 3 }
+        );
+        assert_eq!(r.read_u8().unwrap(), 1);
+        assert_eq!(r.finish().unwrap_err(), WireError::TrailingBytes { extra: 2 });
+    }
+
+    #[test]
+    fn header_roundtrip_and_rejections() {
+        for codec in Codec::all() {
+            let mut w = ByteWriter::new();
+            write_header(&mut w, codec);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes.len(), HEADER_LEN);
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(read_header(&mut r).unwrap(), codec);
+        }
+        let mut bad_magic = vec![b'X', b'N', b'W', b'R', 1, 0, 0];
+        let mut r = ByteReader::new(&bad_magic);
+        assert!(matches!(read_header(&mut r), Err(WireError::BadMagic { .. })));
+        bad_magic[..4].copy_from_slice(&MAGIC);
+        bad_magic[4] = 99;
+        let mut r = ByteReader::new(&bad_magic);
+        assert_eq!(
+            read_header(&mut r).unwrap_err(),
+            WireError::UnsupportedVersion { found: 99 }
+        );
+        let mut bad_codec = Vec::new();
+        let mut w = ByteWriter::new();
+        write_header(&mut w, Codec::F32);
+        bad_codec.extend_from_slice(&w.into_bytes());
+        bad_codec[6] = 0x7F;
+        let mut r = ByteReader::new(&bad_codec);
+        assert_eq!(
+            read_header(&mut r).unwrap_err(),
+            WireError::UnknownCodec { tag: 0x7F }
+        );
+    }
+
+    #[test]
+    fn f32_codec_is_bit_identical_including_nan_payloads() {
+        let special = vec![
+            f32::from_bits(0x7FC0_0001), // NaN, nonzero payload
+            f32::from_bits(0xFF80_0000), // -inf
+            f32::from_bits(0x0000_0001), // subnormal
+            -0.0,
+            0.0,
+            f32::MAX,
+            f32::MIN,
+        ];
+        let t = Tensor::from_vec(special.clone(), &[7]).unwrap();
+        let back = roundtrip(&t, Codec::F32);
+        let got: Vec<u32> = back.as_slice().iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u32> = special.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn lossless_roundtrip_over_random_shapes() {
+        let mut rng = Rng::seed_from(0xD1AB);
+        for trial in 0..50 {
+            let rank = trial % 4;
+            let shape: Vec<usize> = (0..rank).map(|_| rng.below(7)).collect();
+            let t = rng.randn(&shape);
+            let back = roundtrip(&t, Codec::F32);
+            assert_eq!(back.shape(), t.shape());
+            let got: Vec<u32> = back.as_slice().iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u32> = t.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, want, "trial {trial} shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_odd_length_tensors_roundtrip_under_all_codecs() {
+        let mut rng = Rng::seed_from(7);
+        for codec in Codec::all() {
+            for shape in [vec![], vec![0], vec![1], vec![3], vec![7], vec![31], vec![3, 0, 5]] {
+                let t = rng.randn(&shape);
+                let back = roundtrip(&t, codec);
+                assert_eq!(back.shape(), t.shape(), "{codec:?} {shape:?}");
+                assert_eq!(back.len(), t.len());
+            }
+        }
+    }
+
+    #[test]
+    fn sign1_decodes_to_signed_scale() {
+        let t = Tensor::from_vec(vec![3.0, -1.0, 0.5, -0.5, 2.0], &[5]).unwrap();
+        let back = roundtrip(&t, Codec::Sign1);
+        // scale = mean |x| = (3 + 1 + 0.5 + 0.5 + 2) / 5 = 1.4
+        let s = 1.4f32;
+        let got = back.as_slice();
+        let want = [s, -s, s, -s, s];
+        for (g, w) in got.iter().zip(want) {
+            assert!((g - w).abs() < 1e-6, "{got:?}");
+        }
+    }
+
+    #[test]
+    fn sign1_and_qi8_are_idempotent() {
+        // Lossy codecs must be stable on their own output: encoding a
+        // decoded tensor again reproduces it bit-exactly (the fixed point
+        // the error-feedback loop converges toward).
+        let mut rng = Rng::seed_from(42);
+        for codec in [Codec::Sign1, Codec::QuantI8] {
+            let t = rng.randn(&[67]);
+            let once = roundtrip(&t, codec);
+            let twice = roundtrip(&once, codec);
+            let got: Vec<u32> = twice.as_slice().iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u32> = once.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, want, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn qi8_error_is_bounded_by_half_step() {
+        let mut rng = Rng::seed_from(11);
+        let t = rng.randn(&[256]);
+        let max_abs = t.as_slice().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        let step = max_abs / 127.0;
+        let back = roundtrip(&t, Codec::QuantI8);
+        for (a, b) in t.as_slice().iter().zip(back.as_slice()) {
+            assert!((a - b).abs() <= step * 0.5 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_do_not_poison_lossy_scales() {
+        let t = Tensor::from_vec(vec![f32::NAN, f32::INFINITY, -2.0, 2.0], &[4]).unwrap();
+        for codec in [Codec::Sign1, Codec::QuantI8] {
+            let back = roundtrip(&t, codec);
+            assert!(
+                back.as_slice().iter().all(|x| x.is_finite()),
+                "{codec:?}: {:?}",
+                back.as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_length_headers_without_allocating() {
+        // rank=1, dim=u32::MAX declares ~17 GB of f32 payload; the decoder
+        // must bounds-check before reserving.
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            decode_tensor(&mut r, Codec::F32),
+            Err(WireError::Truncated { .. })
+        ));
+
+        // An absurd rank is rejected outright.
+        let mut w = ByteWriter::new();
+        w.put_u32(1_000_000);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            decode_tensor(&mut r, Codec::F32).unwrap_err(),
+            WireError::LengthOverflow { what: "rank", value: 1_000_000 }
+        );
+
+        // Element-count overflow from plausible dims.
+        let mut w = ByteWriter::new();
+        w.put_u32(8);
+        for _ in 0..8 {
+            w.put_u32(u32::MAX);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            decode_tensor(&mut r, Codec::F32),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn sign1_rejects_nonzero_padding() {
+        let t = Tensor::from_vec(vec![1.0, -1.0, 1.0], &[3]).unwrap();
+        let mut w = ByteWriter::new();
+        encode_tensor(&t, Codec::Sign1, &mut w).unwrap();
+        let mut bytes = w.into_bytes();
+        // Tamper with a padding bit above the 3 used bits of the last byte.
+        let last = bytes.len() - 1;
+        bytes[last] |= 1 << 6;
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            decode_tensor(&mut r, Codec::Sign1).unwrap_err(),
+            WireError::NonzeroPadding { at: 0 }
+        );
+    }
+
+    #[test]
+    fn corrupted_streams_error_and_never_panic() {
+        // Seeded fuzz loop: truncations of a valid frame always error;
+        // random byte flips either decode (payload damage) or error with a
+        // typed WireError — no input may panic or over-allocate.
+        let mut rng = Rng::seed_from(0xFEED);
+        let t = rng.randn(&[5, 7]);
+        for codec in Codec::all() {
+            let mut w = ByteWriter::new();
+            encode_tensor(&t, codec, &mut w).unwrap();
+            let bytes = w.into_bytes();
+            for cut in 0..bytes.len() {
+                let mut r = ByteReader::new(&bytes[..cut]);
+                let res = decode_tensor(&mut r, codec).and_then(|_| r.finish());
+                assert!(res.is_err(), "{codec:?}: prefix of {cut} bytes decoded");
+            }
+            for _ in 0..200 {
+                let mut corrupt = bytes.clone();
+                let flips = 1 + rng.below(3);
+                for _ in 0..flips {
+                    let i = rng.below(corrupt.len());
+                    let bit = rng.below(8);
+                    corrupt[i] ^= 1u8 << bit;
+                }
+                let mut r = ByteReader::new(&corrupt);
+                // Must return — Ok or a typed error — without panicking.
+                let _ = decode_tensor(&mut r, codec).and_then(|_| r.finish());
+            }
+        }
+    }
+}

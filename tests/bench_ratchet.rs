@@ -137,6 +137,55 @@ fn telemetry_rows_cover_recorder_ledger_and_exporters() {
     }
 }
 
+/// Minimum uplink compression the 1-bit sign codec must keep delivering
+/// over the raw-f32 wire baseline. The theoretical ceiling is 32× (one bit
+/// per f32) minus framing and per-tensor scales; the committed artifact
+/// measures ~31.6×, so 8× leaves generous headroom while still catching a
+/// regression to un-packed or un-delta'd uploads.
+const WIRE_SIGN1_MIN_RATIO: f64 = 8.0;
+
+#[test]
+fn wire_compression_ratio_holds_8x() {
+    // Unlike the timing ratchets above, bytes-per-round is a pure function
+    // of the model architecture and codec — the committed artifact is
+    // bit-reproducible, so this ratchet can sit close to exact.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("bench-results/BENCH_wire.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{} must be committed (regenerate with `cargo run --release -p \
+             dinar-bench --bin bench_wire`): {e}",
+            path.display()
+        )
+    });
+    let json = Json::parse(&text).expect("committed wire report parses");
+    let rows = json.as_arr().expect("wire report is an array of rows");
+    let up_bytes = |codec: &str| -> f64 {
+        rows.iter()
+            .find(|r| r.get("codec").and_then(Json::as_str) == Some(codec))
+            .unwrap_or_else(|| panic!("wire report has no {codec} row"))
+            .get("bytes_up_per_round")
+            .and_then(Json::as_f64)
+            .expect("row has bytes_up_per_round")
+    };
+    let f32_up = up_bytes("f32");
+    let sign1_up = up_bytes("sign1");
+    assert!(f32_up > 0.0 && sign1_up > 0.0, "empty byte columns");
+    let ratio = f32_up / sign1_up;
+    assert!(
+        ratio >= WIRE_SIGN1_MIN_RATIO,
+        "sign1 uplink at {sign1_up:.0} B/round vs f32 {f32_up:.0} B/round \
+         is only {ratio:.1}x — below the {WIRE_SIGN1_MIN_RATIO}x wire ratchet"
+    );
+    // The quantized-i8 path must also beat raw f32 (≈4× minus framing).
+    let qi8 = up_bytes("quant_i8");
+    assert!(
+        f32_up / qi8 >= 3.0,
+        "quant_i8 uplink compression fell under 3x ({:.1}x)",
+        f32_up / qi8
+    );
+}
+
 #[test]
 fn sampler_rows_cover_the_allocation_free_paths() {
     // The suite must keep reporting the allocation-free sampler entry

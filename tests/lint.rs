@@ -1,8 +1,9 @@
 //! Workspace lint gate: runs the `dinar-lint` ratchet as part of
-//! `cargo test`, so a new violation of any repo invariant (L001–L016)
-//! fails CI even if nobody ran the CLI. The semantic rules L010–L016 are
-//! ratcheted at zero here (not via the baseline), and the baseline file
-//! itself is checked for unknown rule IDs and stale paths.
+//! `cargo test`, so a new violation of any repo invariant (L001–L017)
+//! fails CI even if nobody ran the CLI. The semantic rules L010–L016 and
+//! the wire-confinement rule L017 are ratcheted at zero here (not via the
+//! baseline), and the baseline file itself is checked for unknown rule IDs
+//! and stale paths.
 
 use std::path::Path;
 
@@ -107,6 +108,30 @@ fn semantic_rules_stay_at_zero() {
          `lint: allow(RULE, reason)` at the site):\n{}",
         semantic
             .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn wire_codecs_stay_confined_at_zero() {
+    // L017 starts — and must stay — at zero: every byte-level
+    // encode/decode lives in the sanctioned wire module
+    // (crates/tensor/src/wire.rs), whose codec paths convert integers with
+    // checked `try_from`, never a silently-wrapping `as`. A second codec
+    // elsewhere — or one wrapped cast inside the wire module — reopens the
+    // truncated-length-header class of bug the decoder hardening closed.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (findings, _) = dinar_lint::check_against_baseline(root).expect("lint pass should run");
+    let l017: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == dinar_lint::rules::Rule::L017)
+        .collect();
+    assert!(
+        l017.is_empty(),
+        "wire confinement violated:\n{}",
+        l017.iter()
             .map(|f| format!("  {f}"))
             .collect::<Vec<_>>()
             .join("\n")
