@@ -1,0 +1,172 @@
+//! Serving-plane benchmark: records `bench-results/BENCH_serve.json`.
+//!
+//! The same seeded MLP (Purchase100-shaped, 600→256→100) is checkpointed
+//! through the `DNCK` plane twice — once at `f32` and once at `quant_i8`
+//! storage width — and each checkpoint answers the same batched inference
+//! stream through [`dinar_nn::serve::ServingModel`]. Each row records the
+//! resident weight bytes (a pure function of the architecture and dtype,
+//! bit-reproducible run to run) and the measured batch throughput.
+//!
+//! ```text
+//! DINAR_THREADS=1 cargo run --release -p dinar-bench --bin bench_serve
+//! ```
+//!
+//! `tests/bench_ratchet.rs::i8_serving_halves_resident_weight_bytes`
+//! ratchets the committed artifact: the `quant_i8` row must stay ≥2×
+//! smaller in resident weight bytes while keeping comparable batch
+//! throughput — the quantized model serves from a quarter of the memory
+//! without giving the speed back.
+
+use dinar_bench::impl_to_json;
+use dinar_bench::report::{table, write_json};
+use dinar_bench::timing::{bench, Config};
+use dinar_nn::ckpt;
+use dinar_nn::models::{self, Activation};
+use dinar_nn::serve::ServingModel;
+use dinar_tensor::{Dtype, Rng, Tensor};
+use std::time::Duration;
+
+const ARCH: [usize; 3] = [600, 256, 100];
+const BATCH_ROWS: usize = 64;
+const TIMED_BATCHES: usize = 64;
+
+struct ServeRow {
+    storage: &'static str,
+    resident_weight_bytes: u64,
+    /// f32 resident bytes divided by this row's — the memory ratio the
+    /// bench ratchet holds at ≥2× for quant_i8.
+    bytes_ratio_vs_f32: f64,
+    batch_rows: usize,
+    timed_batches: usize,
+    ns_per_batch: f64,
+    rows_per_s: f64,
+    /// Largest |logit drift| against the f32 run on the same inputs.
+    max_abs_logit_diff: f64,
+}
+
+impl_to_json!(ServeRow {
+    storage,
+    resident_weight_bytes,
+    bytes_ratio_vs_f32,
+    batch_rows,
+    timed_batches,
+    ns_per_batch,
+    rows_per_s,
+    max_abs_logit_diff,
+});
+
+fn checkpoint_bytes(dtype: Dtype) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    // The same seed both times: the two serving models differ only in
+    // storage width, never in the underlying weights.
+    let mut rng = Rng::seed_from(97);
+    let model = models::mlp(&ARCH, Activation::ReLU, &mut rng)?;
+    Ok(ckpt::encode_checkpoint(&model.params(), dtype)?)
+}
+
+fn run_storage(
+    name: &'static str,
+    dtype: Dtype,
+    batches: &[Tensor],
+    f32_logits: Option<&[Tensor]>,
+) -> Result<(ServeRow, Vec<Tensor>), Box<dyn std::error::Error>> {
+    let raw = ckpt::decode_checkpoint_raw(&checkpoint_bytes(dtype)?)?;
+    let mut serving = ServingModel::from_checkpoint(raw)?;
+    let mut logits = Vec::with_capacity(batches.len());
+    for x in batches {
+        logits.push(serving.infer(x)?);
+    }
+    // One timed iteration = one batch, cycling through the stream so the
+    // pool's steady-state reuse (not the first-batch allocation) is what
+    // gets measured.
+    let mut next = 0usize;
+    let measured = bench(
+        &format!("serve_{name}"),
+        &Config {
+            warmup: Duration::from_millis(100),
+            samples: 20,
+            target_sample: Duration::from_millis(20),
+        },
+        || {
+            let x = &batches[next % batches.len()];
+            next += 1;
+            // lint: allow(L001, every batch already inferred successfully above)
+            serving.infer(x).expect("shapes validated above")
+        },
+    );
+    let ns_per_batch = measured.median_ns();
+    let max_diff = f32_logits
+        .map(|reference| {
+            reference
+                .iter()
+                .zip(&logits)
+                .flat_map(|(a, b)| a.as_slice().iter().zip(b.as_slice()))
+                .map(|(p, q)| f64::from((p - q).abs()))
+                .fold(0.0, f64::max)
+        })
+        .unwrap_or(0.0);
+    let row = ServeRow {
+        storage: name,
+        resident_weight_bytes: serving.resident_weight_bytes(),
+        bytes_ratio_vs_f32: 1.0, // filled against the f32 row below
+        batch_rows: BATCH_ROWS,
+        timed_batches: batches.len(),
+        ns_per_batch,
+        rows_per_s: BATCH_ROWS as f64 * 1e9 / ns_per_batch.max(1e-9),
+        max_abs_logit_diff: max_diff,
+    };
+    Ok((row, logits))
+}
+
+fn main() {
+    let mut rng = Rng::seed_from(4242);
+    let batches: Vec<Tensor> = (0..TIMED_BATCHES)
+        .map(|_| rng.randn(&[BATCH_ROWS, ARCH[0]]))
+        .collect();
+    let (f32_row, f32_logits) = match run_storage("f32", Dtype::F32, &batches, None) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("serve bench failed for f32: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (i8_row, _) = match run_storage("quant_i8", Dtype::I8, &batches, Some(&f32_logits)) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("serve bench failed for quant_i8: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut rows = vec![f32_row, i8_row];
+    let f32_bytes = rows[0].resident_weight_bytes;
+    for row in &mut rows {
+        row.bytes_ratio_vs_f32 = f32_bytes as f64 / row.resident_weight_bytes.max(1) as f64;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.storage.to_string(),
+                r.resident_weight_bytes.to_string(),
+                format!("{:.2}", r.bytes_ratio_vs_f32),
+                r.batch_rows.to_string(),
+                format!("{:.0}", r.ns_per_batch),
+                format!("{:.0}", r.rows_per_s),
+                format!("{:.4}", r.max_abs_logit_diff),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["storage", "weight_B", "B_ratio", "batch", "ns/batch", "rows/s", "max_diff"],
+            &cells
+        )
+    );
+    match write_json("BENCH_serve", rows.as_slice()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_serve.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use crate::obfuscation::{obfuscate_layer, ObfuscationStrategy};
 use crate::DinarConfig;
-use dinar_fl::{ClientMiddleware, FlError};
+use dinar_fl::{ClientMiddleware, FlError, MiddlewareState};
 use dinar_nn::{LayerParams, ModelParams};
 use dinar_tensor::Rng;
 
@@ -117,6 +117,31 @@ impl ClientMiddleware for DinarMiddleware {
 
     fn name(&self) -> &'static str {
         "dinar"
+    }
+
+    fn export_state(&self) -> Option<MiddlewareState> {
+        Some(MiddlewareState {
+            rng: Some(self.rng.state()),
+            stored: self.stored.clone(),
+        })
+    }
+
+    fn import_state(&mut self, state: MiddlewareState) -> dinar_fl::Result<()> {
+        if state.stored.len() != self.stored.len() {
+            return Err(FlError::Middleware {
+                name: "dinar",
+                reason: format!(
+                    "resume image stores {} private layer slot(s), middleware has {}",
+                    state.stored.len(),
+                    self.stored.len()
+                ),
+            });
+        }
+        if let Some(rng) = state.rng {
+            self.rng = Rng::from_state(rng);
+        }
+        self.stored = state.stored;
+        Ok(())
     }
 }
 

@@ -1,5 +1,6 @@
 //! The FL client: local model, local data, local training.
 
+use crate::ckpt::ClientCkpt;
 use crate::{ClientMiddleware, FlError, Result};
 use dinar_data::Dataset;
 use dinar_nn::loss::CrossEntropyLoss;
@@ -235,6 +236,55 @@ impl FlClient {
         let loss = self.train_local()?;
         let update = self.produce_update()?;
         Ok((loss, update))
+    }
+
+    /// Exports the client's full mutable state — model parameters, RNG
+    /// stream position, optimizer state and per-middleware state — for a
+    /// resume image. The private data shard and static configuration are
+    /// *not* part of the export; a resumed run rebuilds them from the same
+    /// builder inputs.
+    pub fn export_state(&self) -> ClientCkpt {
+        ClientCkpt {
+            id: self.id,
+            params: self.model.params(),
+            rng: self.rng.state(),
+            optim: self.optimizer.export_state(),
+            middleware: self.middleware.iter().map(|m| m.export_state()).collect(),
+        }
+    }
+
+    /// Restores state captured by [`export_state`](FlClient::export_state)
+    /// into this client. The client must have been rebuilt with the same
+    /// id, architecture, optimizer and middleware stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] on an id or stack-shape mismatch
+    /// and propagates parameter/optimizer/middleware restore errors.
+    pub fn import_state(&mut self, state: ClientCkpt) -> Result<()> {
+        if state.id != self.id {
+            return Err(FlError::InvalidConfig {
+                reason: format!("resume image is for client {}, not {}", state.id, self.id),
+            });
+        }
+        if state.middleware.len() != self.middleware.len() {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "resume image has {} middleware state slot(s), client has {}",
+                    state.middleware.len(),
+                    self.middleware.len()
+                ),
+            });
+        }
+        self.model.set_params(&state.params)?;
+        self.rng = Rng::from_state(state.rng);
+        self.optimizer.import_state(state.optim)?;
+        for (mw, st) in self.middleware.iter_mut().zip(state.middleware) {
+            if let Some(st) = st {
+                mw.import_state(st)?;
+            }
+        }
+        Ok(())
     }
 
     /// Accuracy of the client's current model on a labelled dataset.

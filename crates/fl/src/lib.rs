@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod client;
 pub mod clock;
 pub mod deadline;
@@ -62,8 +63,10 @@ pub mod system;
 pub mod trace;
 pub mod transport;
 
+pub use ckpt::{ClientCkpt, FlCheckpoint, PendingRound};
 pub use client::{ClientUpdate, FlClient};
 pub use error::FlError;
+pub use middleware::MiddlewareState;
 pub use fault::{FaultKind, FaultPlan, Quorum, RetryPolicy, RoundFaultStats, RoundPolicy};
 pub use middleware::{ClientMiddleware, ServerMiddleware};
 pub use netsim::{ClientLink, LinkModel, NetworkModel, RoundWireStats, WireConfig};

@@ -14,8 +14,24 @@
 //! [`crate::fault`]) rather than poisoning the server loop.
 
 use crate::Result;
-use dinar_nn::ModelParams;
+use dinar_nn::{LayerParams, ModelParams};
 use dinar_telemetry::Telemetry;
+use dinar_tensor::RngState;
+
+/// Snapshot of a stateful client middleware, captured for a mid-round
+/// resume image (see [`crate::ckpt`]).
+///
+/// The two fields cover what the paper's defenses actually carry between
+/// rounds: an RNG stream (obfuscation/noise randomness) and per-layer
+/// stored parameters (DINAR's private layer(s) `θᵢᵖ*`). A middleware with
+/// richer state can fold it into `stored` as extra layer entries.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MiddlewareState {
+    /// The middleware's RNG stream position, if it holds one.
+    pub rng: Option<RngState>,
+    /// Per-slot stored layer parameters (`None` for slots not yet filled).
+    pub stored: Vec<Option<LayerParams>>,
+}
 
 /// Client-side hooks: transforms applied to downloaded and uploaded
 /// parameter sets.
@@ -62,6 +78,28 @@ pub trait ClientMiddleware: std::fmt::Debug + Send {
     /// to charge the privacy ledger (lint rule L016).
     fn attach_telemetry(&mut self, telemetry: &Telemetry, client_id: usize) {
         let _ = (telemetry, client_id);
+    }
+
+    /// Exports the middleware's mutable state for a mid-round resume image,
+    /// or `None` for stateless middleware (the default).
+    fn export_state(&self) -> Option<MiddlewareState> {
+        None
+    }
+
+    /// Restores state previously captured by
+    /// [`export_state`](ClientMiddleware::export_state). Only called with
+    /// a `Some` export, so the stateless default rejects: reaching it means
+    /// a resume image was taken with a different middleware stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::FlError::Middleware`] if the state is incompatible.
+    fn import_state(&mut self, state: MiddlewareState) -> Result<()> {
+        let _ = state;
+        Err(crate::FlError::Middleware {
+            name: self.name(),
+            reason: "middleware is stateless; resume image does not match this stack".into(),
+        })
     }
 }
 

@@ -63,6 +63,17 @@ impl FlServer {
         }
     }
 
+    /// Restores the server to a checkpointed position: installs `global`
+    /// as the current model and sets the completed-round counter. The
+    /// recycled aggregation scratch is dropped — its content never affects
+    /// results (it is zero-filled before reuse), so a resumed run stays
+    /// bit-identical to an uninterrupted one.
+    pub fn restore_state(&mut self, global: ModelParams, rounds_completed: usize) {
+        self.global = global;
+        self.scratch = None;
+        self.rounds_completed = rounds_completed;
+    }
+
     /// FedAvg-aggregates the client updates into a new global model and runs
     /// the server middleware chain over it.
     ///

@@ -1,5 +1,6 @@
 //! Round orchestration, system builder and cost accounting.
 
+use crate::ckpt::{FlCheckpoint, PendingRound};
 use crate::{ClientMiddleware, ClientUpdate, FlClient, FlError, FlServer, Result, ServerMiddleware};
 use dinar_data::Dataset;
 use dinar_metrics::cost::{measure, CostSample};
@@ -71,6 +72,9 @@ pub struct FlSystem {
     server: FlServer,
     clients: Vec<FlClient>,
     rounds_run: usize,
+    /// The finished portion of an interrupted round (see
+    /// [`FlSystem::begin_round_partial`]); `None` between rounds.
+    pending: Option<PendingRound>,
     telemetry: Telemetry,
 }
 
@@ -116,7 +120,7 @@ impl FlSystem {
     /// part of the tuple — callers that need it should clone it via
     /// [`FlSystem::telemetry`] first (the threaded transport does, and
     /// re-attaches it on reassembly); each client keeps carrying its own
-    /// handle across the move.
+    /// handle across the move. Any pending partial round is dropped.
     pub fn into_parts(self) -> (FlServer, Vec<FlClient>, usize) {
         (self.server, self.clients, self.rounds_run)
     }
@@ -129,6 +133,7 @@ impl FlSystem {
             server,
             clients,
             rounds_run,
+            pending: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -154,13 +159,26 @@ impl FlSystem {
         &self.telemetry
     }
 
+    /// Returns an error if a partial round is pending — the caller must
+    /// [`finish_round`](FlSystem::finish_round) before starting a new one.
+    fn check_no_pending(&self) -> Result<()> {
+        if self.pending.is_some() {
+            return Err(FlError::InvalidConfig {
+                reason: "a partial round is pending; call finish_round first".into(),
+            });
+        }
+        Ok(())
+    }
+
     /// Runs one FL round: every client downloads the global model, trains
     /// locally and uploads; the server aggregates.
     ///
     /// # Errors
     ///
-    /// Propagates client training, middleware and aggregation errors.
+    /// Propagates client training, middleware and aggregation errors;
+    /// returns [`FlError::InvalidConfig`] if a partial round is pending.
     pub fn run_round(&mut self) -> Result<RoundReport> {
+        self.check_no_pending()?;
         let kernels_before = profile::snapshot();
         let round_span = self.telemetry.span(&format!("round[{}]", self.rounds_run + 1));
         let span_parent = round_span.path().to_string();
@@ -246,6 +264,7 @@ impl FlSystem {
         participants: usize,
         rng: &mut Rng,
     ) -> Result<RoundReport> {
+        self.check_no_pending()?;
         if participants == 0 || participants > self.clients.len() {
             return Err(FlError::InvalidConfig {
                 reason: format!(
@@ -304,6 +323,138 @@ impl FlSystem {
                 client_peak_mem_bytes: peak_mem,
             },
         })
+    }
+
+    /// Whether an interrupted round is pending (some clients trained, no
+    /// aggregation yet).
+    pub fn has_pending_round(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Trains clients `0..stop_after` of the next round **sequentially**
+    /// and parks their `(loss, update)` pairs instead of aggregating —
+    /// modelling a run killed after `stop_after` clients. Take a
+    /// [`checkpoint`](FlSystem::checkpoint) afterwards to persist the
+    /// partial round, and call [`finish_round`](FlSystem::finish_round)
+    /// (possibly after a [`restore`](FlSystem::restore) in a fresh
+    /// process) to complete it.
+    ///
+    /// Clients are data-independent within a round and the engine
+    /// aggregates in client order, so splitting a round this way is
+    /// bit-identical to the parallel [`run_round`](FlSystem::run_round) at
+    /// any thread-pool width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] if a partial round is already
+    /// pending or `stop_after` is not in `1..=clients`; propagates client
+    /// training errors.
+    pub fn begin_round_partial(&mut self, stop_after: usize) -> Result<()> {
+        self.check_no_pending()?;
+        if stop_after == 0 || stop_after > self.clients.len() {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "cannot stop after {stop_after} of {} clients",
+                    self.clients.len()
+                ),
+            });
+        }
+        let global = self.server.global_params().share();
+        let mut completed = Vec::with_capacity(stop_after);
+        for client in &mut self.clients[..stop_after] {
+            completed.push(client.run_protocol(&global)?);
+        }
+        self.pending = Some(PendingRound { completed });
+        Ok(())
+    }
+
+    /// Completes a pending partial round: trains the remaining clients
+    /// sequentially against the same global snapshot, then aggregates all
+    /// updates in client order. The resulting global model is bit-identical
+    /// to an uninterrupted [`run_round`](FlSystem::run_round).
+    ///
+    /// The report's cost sample covers only the clients trained in this
+    /// call (the earlier portion's wall-clock belongs to the interrupted
+    /// process).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] if no partial round is pending;
+    /// propagates training and aggregation errors.
+    pub fn finish_round(&mut self) -> Result<RoundReport> {
+        let Some(mut pending) = self.pending.take() else {
+            return Err(FlError::InvalidConfig {
+                reason: "no partial round is pending; call begin_round_partial first".into(),
+            });
+        };
+        let global = self.server.global_params().share();
+        let done = pending.completed.len();
+        let mut train_time_sum = 0.0f64;
+        for client in &mut self.clients[done..] {
+            let (result, elapsed, _mem) = measure(|| client.run_protocol(&global));
+            train_time_sum += elapsed.as_secs_f64();
+            pending.completed.push(result?);
+        }
+        let mut updates = Vec::with_capacity(pending.completed.len());
+        let mut loss_sum = 0.0f64;
+        for (loss, update) in pending.completed {
+            loss_sum += loss as f64;
+            updates.push(update);
+        }
+        let (agg_result, agg_elapsed, _) = measure(|| self.server.aggregate(&updates).map(|_| ()));
+        agg_result?;
+        self.rounds_run += 1;
+        Ok(RoundReport {
+            round: self.rounds_run,
+            mean_train_loss: (loss_sum / self.clients.len().max(1) as f64) as f32,
+            cost: CostSample {
+                client_train_s: train_time_sum / self.clients.len().max(1) as f64,
+                server_agg_s: agg_elapsed.as_secs_f64(),
+                client_peak_mem_bytes: 0,
+            },
+        })
+    }
+
+    /// Captures a complete resume image of the system: global model,
+    /// completed-round counter, every client's mutable state and any
+    /// pending partial round. Persist it with [`crate::ckpt::save_resume`].
+    pub fn checkpoint(&self) -> FlCheckpoint {
+        FlCheckpoint {
+            rounds_run: self.rounds_run,
+            global: self.server.global_params().share(),
+            clients: self.clients.iter().map(FlClient::export_state).collect(),
+            // lint: allow(L009, PendingRound's derived Clone bumps COW refcounts, O(1) like share())
+            pending: self.pending.clone(),
+        }
+    }
+
+    /// Installs a resume image into this system. The system must have been
+    /// rebuilt with the same builder inputs (shards, architecture,
+    /// optimizer, middleware stack, seed); the image then overwrites all
+    /// mutable state, making the resumed run bit-identical to one that was
+    /// never interrupted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlError::InvalidConfig`] on a client-count mismatch and
+    /// propagates per-client restore errors.
+    pub fn restore(&mut self, ckpt: FlCheckpoint) -> Result<()> {
+        if ckpt.clients.len() != self.clients.len() {
+            return Err(FlError::InvalidConfig {
+                reason: format!(
+                    "resume image has {} client(s), system has {}",
+                    ckpt.clients.len(),
+                    self.clients.len()
+                ),
+            });
+        }
+        for (client, state) in self.clients.iter_mut().zip(ckpt.clients) {
+            client.import_state(state)?;
+        }
+        self.server.restore_state(ckpt.global, ckpt.rounds_run);
+        self.rounds_run = ckpt.rounds_run;
+        self.pending = ckpt.pending;
+        Ok(())
     }
 
     /// Pushes the final global model to every client (running their download
@@ -430,6 +581,7 @@ impl FlSystemBuilder {
             server,
             clients: self.clients,
             rounds_run: 0,
+            pending: None,
             telemetry: Telemetry::disabled(),
         })
     }

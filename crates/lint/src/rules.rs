@@ -1,6 +1,6 @@
-//! The rule catalog: seventeen repo-specific invariants (L001–L017).
+//! The rule catalog: eighteen repo-specific invariants (L001–L018).
 //!
-//! L001–L009 and L017 are per-line rules: pure functions from preprocessed
+//! L001–L009, L017 and L018 are per-line rules: pure functions from preprocessed
 //! sources (or manifests) to [`Finding`]s. L010–L016 are cross-file/token-level
 //! semantic rules that run on the engine in [`crate::graph`]. Both layers are
 //! driven with inline fixtures by unit tests and with the real workspace by
@@ -58,6 +58,9 @@ pub enum Rule {
     /// sanctioned wire modules, which in turn use no silently-wrapping
     /// `as` integer narrowing.
     L017,
+    /// Element confinement: bit-pattern reinterpretation between storage
+    /// element types stays inside the sanctioned generic-storage module.
+    L018,
 }
 
 impl Rule {
@@ -82,6 +85,7 @@ impl Rule {
             Rule::L015 => "L015",
             Rule::L016 => "L016",
             Rule::L017 => "L017",
+            Rule::L018 => "L018",
         }
     }
 
@@ -105,6 +109,7 @@ impl Rule {
             Rule::L015 => "no scalar normal() draws inside loops in defenses/param-plane code",
             Rule::L016 => "ledger-coverage: defense transforms must report to the privacy ledger",
             Rule::L017 => "wire-confinement: byte codecs only in wire modules; no `as` narrowing there",
+            Rule::L018 => "element-confinement: bit-pattern casts only in the generic-storage module",
         }
     }
 
@@ -276,11 +281,29 @@ impl Rule {
                  inside them, convert with `try_from` or the checked `cast` helpers. A\n\
                  genuinely-safe site can be annotated `// lint: allow(L017, reason)`."
             }
+            Rule::L018 => {
+                "L018 — element confinement (per-line).\n\n\
+                 The generic storage backend keeps exactly one audited site where a\n\
+                 value is reinterpreted as raw bits: the `Element` impls in\n\
+                 `crates/tensor/src/storage.rs`, where `to_bit_pattern` /\n\
+                 `from_bit_pattern` define each dtype's canonical u32 image (IEEE-754\n\
+                 bits for f32, sign-extended for i8, the half-precision bit pattern\n\
+                 for F16) and the property tests pin every one of them to an exact\n\
+                 round-trip. A second spelling elsewhere is an unaudited\n\
+                 reinterpretation that can silently disagree with the canonical one —\n\
+                 the exact class of bug that breaks the width-independent\n\
+                 bit-identicality the checkpoint and wire planes promise. `transmute`\n\
+                 is banned with the same fence (the workspace is `forbid(unsafe_code)`\n\
+                 in the core crates, but the lint also covers the crates that are\n\
+                 not). Outside the storage module, convert through the safe `Element`\n\
+                 API or `f32::to_bits`-family methods behind it; a genuinely-safe\n\
+                 site can be annotated `// lint: allow(L018, reason)`."
+            }
         }
     }
 
     /// All rules, in catalog order.
-    pub fn all() -> [Rule; 17] {
+    pub fn all() -> [Rule; 18] {
         [
             Rule::L001,
             Rule::L002,
@@ -299,6 +322,7 @@ impl Rule {
             Rule::L015,
             Rule::L016,
             Rule::L017,
+            Rule::L018,
         ]
     }
 
@@ -440,6 +464,17 @@ const L017_NARROWING_TOKENS: [&str; 7] = [
     "as u8", "as u16", "as u32", "as i8", "as i16", "as i32", "as usize",
 ];
 
+/// The sanctioned generic-storage module: the only `/src/` file allowed to
+/// spell bit-pattern reinterpretation between storage element types. The
+/// `Element` impls here define each dtype's canonical u32 bit image, and
+/// the property tests pin them; a second spelling elsewhere is an
+/// unaudited reinterpretation that can silently diverge from the
+/// canonical one.
+pub const L018_STORAGE_FILES: [&str; 1] = ["crates/tensor/src/storage.rs"];
+
+/// Reinterpretation tokens confined to [`L018_STORAGE_FILES`] by L018.
+const L018_TOKENS: [&str; 3] = ["to_bit_pattern", "from_bit_pattern", "transmute"];
+
 /// Is `path` one of the sanctioned wall-clock modules exempt from L007?
 /// `clock.rs` files (the `Clock` implementations), `timing.rs` (the bench
 /// measurement loop), and the telemetry crate (which owns the clock
@@ -491,6 +526,7 @@ pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
     check_l008(path, &stripped, &mut findings);
     check_l009(path, &stripped, &mut findings);
     check_l017(path, &stripped, &mut findings);
+    check_l018(path, &stripped, &mut findings);
     findings
 }
 
@@ -729,6 +765,39 @@ fn check_l017(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
                         ),
                     });
                 }
+            }
+        }
+    }
+}
+
+/// L018: bit-pattern reinterpretation confined to the sanctioned
+/// generic-storage module ([`L018_STORAGE_FILES`]). A word-bounded token
+/// scan, like L017's byte half.
+fn check_l018(path: &str, stripped: &Stripped, findings: &mut Vec<Finding>) {
+    if !path.contains("/src/") {
+        return; // integration tests, benches and examples are exempt
+    }
+    if L018_STORAGE_FILES.contains(&path) {
+        return; // the audited Element impls live here
+    }
+    for (i, line) in stripped.lines.iter().enumerate() {
+        let n = i + 1;
+        if stripped.is_test_line(n) || stripped.is_allowed("L018", n) {
+            continue;
+        }
+        for token in L018_TOKENS {
+            for _ in 0..occurrences(line, token) {
+                findings.push(Finding {
+                    rule: Rule::L018,
+                    file: path.to_string(),
+                    line: n,
+                    message: format!(
+                        "`{token}` outside the sanctioned storage module; bit-pattern \
+                         reinterpretation belongs in dinar_tensor::storage (the \
+                         audited Element impls), or annotate \
+                         `lint: allow(L018, reason)`"
+                    ),
+                });
             }
         }
     }
@@ -1078,6 +1147,34 @@ mod tests {
                    #[cfg(test)]\nmod tests { fn t() { let n = len as u32; } }\n";
         let findings = check_source("crates/tensor/src/wire.rs", src);
         assert!(findings.iter().all(|f| f.rule != Rule::L017), "{findings:?}");
+    }
+
+    #[test]
+    fn l018_confines_bit_patterns_to_the_storage_module() {
+        let src = "fn f(x: f32) { let b = x.to_bit_pattern(); \
+                   let y = f32::from_bit_pattern(b); \
+                   let z = std::mem::transmute::<f32, u32>(x); }";
+        let hits = check_source("crates/nn/src/ckpt.rs", src)
+            .iter()
+            .filter(|f| f.rule == Rule::L018)
+            .count();
+        assert_eq!(hits, 3);
+        // The sanctioned storage module may reinterpret freely.
+        for storage in L018_STORAGE_FILES {
+            let findings = check_source(storage, src);
+            assert!(findings.iter().all(|f| f.rule != Rule::L018), "{storage}");
+        }
+        // Integration tests are exempt (they exercise corrupt images).
+        let findings = check_source("tests/ckpt_plane.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L018));
+    }
+
+    #[test]
+    fn l018_skips_tests_and_allows() {
+        let src = "let b = x.to_bit_pattern(); // lint: allow(L018, fixture builder)\n\
+                   #[cfg(test)]\nmod tests { fn t() { let b = x.to_bit_pattern(); } }\n";
+        let findings = check_source("crates/fl/src/ckpt.rs", src);
+        assert!(findings.iter().all(|f| f.rule != Rule::L018), "{findings:?}");
     }
 
     #[test]

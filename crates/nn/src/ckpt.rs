@@ -1,0 +1,604 @@
+//! `DNCK` — the versioned, dtype-tagged checkpoint format.
+//!
+//! Where the `DNWR` wire format ([`crate::snapshot`]) frames *transient*
+//! round traffic, `DNCK` frames *durable* state: the global model between
+//! rounds, personalized client models for serving, and (via the composable
+//! section writers below) full mid-round resume images assembled by
+//! `dinar-fl`. The layout:
+//!
+//! ```text
+//! magic "DNCK" (4 bytes)
+//! version: u16
+//! kind: u8                     (0x00 model, 0x01 fl-resume image)
+//! layer_count: u32
+//! per layer:
+//!   tensor_count: u32
+//!   per tensor:
+//!     dtype tag: u8            (F32 = 0x00, I8 = 0x01, F16 = 0x02)
+//!     rank: u32, dims: u32 × rank
+//!     payload:
+//!       F32: f32 bit patterns          (4 bytes/element, lossless)
+//!       F16: IEEE half bit patterns    (2 bytes/element, round-to-nearest)
+//!       I8:  scale f32 + level bytes   (1 byte/element + 4, abs-max quant)
+//! ```
+//!
+//! Every tensor carries its own dtype tag, so a single checkpoint can mix
+//! storage widths (e.g. f32 biases next to i8 weight matrices) and old
+//! readers fail loudly on tags they do not know. Decoding reuses the
+//! hardened [`dinar_tensor::wire`] byte codec — every length header is
+//! validated before allocation, corrupt counts run into
+//! [`WireError::Truncated`] instead of a giant reservation, and the whole
+//! buffer must be consumed.
+//!
+//! The I8 payload is bit-identical to the wire plane's `quant_i8` codec
+//! ([`QuantTensor::quantize`] is the single quantizer for both), so a model
+//! checkpointed at i8 decodes to exactly the values a client would have
+//! received over a `quant_i8` uplink.
+
+use crate::snapshot::wire_len;
+use crate::{ModelParams, NnError, Result};
+use dinar_tensor::wire::{ByteReader, ByteWriter, WireError, MAX_RANK};
+use dinar_tensor::{Dtype, Element, QuantTensor, Tensor, F16};
+use std::fs;
+use std::path::Path;
+
+/// The four magic bytes every checkpoint starts with.
+pub const MAGIC: [u8; 4] = *b"DNCK";
+
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Byte length of the fixed header (magic + version + kind).
+pub const HEADER_LEN: usize = 7;
+
+/// What a `DNCK` file contains. The tag byte sits in the header so a model
+/// loader cannot silently misparse an FL resume image (and vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptKind {
+    /// A bare model: layer/tensor sections only.
+    Model,
+    /// A full FL resume image (global model, per-client state, partial
+    /// round) as framed by `dinar-fl`.
+    FlResume,
+}
+
+impl CkptKind {
+    /// On-disk tag byte. Stable across versions — never renumber.
+    pub fn tag(self) -> u8 {
+        match self {
+            CkptKind::Model => 0x00,
+            CkptKind::FlResume => 0x01,
+        }
+    }
+
+    /// Parses a tag byte.
+    pub fn from_tag(tag: u8) -> Option<CkptKind> {
+        match tag {
+            0x00 => Some(CkptKind::Model),
+            0x01 => Some(CkptKind::FlResume),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CkptKind::Model => "model",
+            CkptKind::FlResume => "fl-resume",
+        }
+    }
+}
+
+/// Writes the `DNCK` header (magic + version + kind).
+pub fn write_header(w: &mut ByteWriter, kind: CkptKind) {
+    w.put_bytes(&MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_u8(kind.tag());
+}
+
+/// Reads and validates the `DNCK` header, returning the file kind.
+///
+/// # Errors
+///
+/// Returns [`NnError::Wire`] with [`WireError::BadMagic`],
+/// [`WireError::UnsupportedVersion`] or [`WireError::UnknownCodec`] (for an
+/// unknown kind tag) on mismatch, [`WireError::Truncated`] if the buffer is
+/// shorter than the header.
+pub fn read_header(r: &mut ByteReader<'_>) -> Result<CkptKind> {
+    let magic = r.take(4).map_err(NnError::Wire)?;
+    if magic != MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(magic);
+        return Err(NnError::Wire(WireError::BadMagic { found }));
+    }
+    let version = r.read_u16().map_err(NnError::Wire)?;
+    if version != FORMAT_VERSION {
+        return Err(NnError::Wire(WireError::UnsupportedVersion { found: version }));
+    }
+    let tag = r.read_u8().map_err(NnError::Wire)?;
+    CkptKind::from_tag(tag).ok_or(NnError::Wire(WireError::UnknownCodec { tag }))
+}
+
+/// Reads the header and checks the file kind, failing loudly on a
+/// mismatch (e.g. feeding an FL resume image to a bare model loader).
+///
+/// # Errors
+///
+/// Same conditions as [`read_header`], plus [`NnError::InvalidConfig`] if
+/// the kind differs from `expected`.
+pub fn expect_header(r: &mut ByteReader<'_>, expected: CkptKind) -> Result<()> {
+    let kind = read_header(r)?;
+    if kind != expected {
+        return Err(NnError::InvalidConfig {
+            reason: format!(
+                "checkpoint is a {} file, expected {}",
+                kind.name(),
+                expected.name()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// A decoded checkpoint tensor, still in its on-disk storage width.
+///
+/// [`read_tensor`] returns this so a serving path can keep i8 weights
+/// resident as [`QuantTensor`]s instead of eagerly widening to f32.
+#[derive(Debug, Clone)]
+pub enum CkptTensor {
+    /// A dense f32 tensor (decoded from an F32 or F16 section).
+    Dense(Tensor),
+    /// An i8-quantized tensor (decoded from an I8 section).
+    Quant(QuantTensor),
+}
+
+impl CkptTensor {
+    /// Widens to a dense f32 tensor (dequantizing an I8 section).
+    pub fn into_tensor(self) -> Tensor {
+        match self {
+            CkptTensor::Dense(t) => t,
+            CkptTensor::Quant(q) => q.to_tensor(),
+        }
+    }
+
+    /// The tensor's shape, regardless of storage width.
+    pub fn shape(&self) -> &[usize] {
+        match self {
+            CkptTensor::Dense(t) => t.shape(),
+            CkptTensor::Quant(q) => q.shape(),
+        }
+    }
+}
+
+/// A decoded checkpoint body with tensors kept at their on-disk widths.
+#[derive(Debug, Clone)]
+pub struct RawCheckpoint {
+    /// One entry per layer; each entry is that layer's tensor sections.
+    pub layers: Vec<Vec<CkptTensor>>,
+}
+
+impl RawCheckpoint {
+    /// Densifies every section into a plain f32 [`ModelParams`].
+    pub fn into_params(self) -> ModelParams {
+        let layers = self
+            .layers
+            .into_iter()
+            .map(|ts| {
+                crate::params::LayerParams::new(
+                    ts.into_iter().map(CkptTensor::into_tensor).collect(),
+                )
+            })
+            .collect();
+        ModelParams::new(layers)
+    }
+}
+
+/// Exact byte length of one encoded tensor section under `dtype`.
+pub fn encoded_tensor_section_len(t: &Tensor, dtype: Dtype) -> usize {
+    let n = t.len();
+    let payload = match dtype {
+        Dtype::F32 => 4 * n,
+        Dtype::F16 => 2 * n,
+        Dtype::I8 => 4 + n,
+    };
+    1 + 4 + 4 * t.shape().len() + payload
+}
+
+/// Exact byte length [`encode_checkpoint`] will produce for `params` under
+/// `dtype` — usable for byte metering without encoding.
+pub fn encoded_checkpoint_len(params: &ModelParams, dtype: Dtype) -> usize {
+    let mut total = HEADER_LEN + 4;
+    for layer in &params.layers {
+        total += 4;
+        for t in &layer.tensors {
+            total += encoded_tensor_section_len(t, dtype);
+        }
+    }
+    total
+}
+
+/// Writes one dtype-tagged tensor section.
+///
+/// # Errors
+///
+/// Returns [`NnError::Wire`] with [`WireError::LengthOverflow`] if the rank
+/// or a dimension exceeds the `u32` wire fields.
+pub fn write_tensor(w: &mut ByteWriter, t: &Tensor, dtype: Dtype) -> Result<()> {
+    w.put_u8(dtype.tag());
+    w.put_u32(wire_len(t.shape().len(), "checkpoint tensor rank")?);
+    for &d in t.shape() {
+        w.put_u32(wire_len(d, "checkpoint tensor dim")?);
+    }
+    match dtype {
+        Dtype::F32 => {
+            for &x in t.as_slice() {
+                w.put_f32(x);
+            }
+        }
+        Dtype::F16 => {
+            for &x in t.as_slice() {
+                w.put_u16(F16::from_f32(x).to_u16());
+            }
+        }
+        Dtype::I8 => {
+            let q = QuantTensor::quantize(t);
+            w.put_f32(q.scale());
+            for &l in q.levels() {
+                w.put_i8(l);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads one dtype-tagged tensor section at its on-disk width.
+///
+/// # Errors
+///
+/// Returns [`NnError::Wire`] for truncation, an unknown dtype tag
+/// ([`WireError::UnknownCodec`]) or an overflowing rank/dimension header.
+/// Never panics and never allocates more than the remaining buffer.
+pub fn read_tensor(r: &mut ByteReader<'_>) -> Result<CkptTensor> {
+    let tag = r.read_u8().map_err(NnError::Wire)?;
+    let dtype = Dtype::from_tag(tag)
+        .ok_or(NnError::Wire(WireError::UnknownCodec { tag }))?;
+    let rank = r.read_u32().map_err(NnError::Wire)? as usize;
+    if rank > MAX_RANK {
+        return Err(NnError::Wire(WireError::LengthOverflow {
+            what: "checkpoint tensor rank",
+            value: u64::try_from(rank).unwrap_or(u64::MAX),
+        }));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    let mut len = 1usize;
+    for _ in 0..rank {
+        let d = r.read_u32().map_err(NnError::Wire)? as usize;
+        len = len
+            .checked_mul(d)
+            .ok_or(NnError::Wire(WireError::LengthOverflow {
+                what: "checkpoint element count",
+                value: u64::MAX,
+            }))?;
+        shape.push(d);
+    }
+    // Element counts come from the file: grow by push so a corrupt huge
+    // count runs into Truncated instead of a giant reservation.
+    match dtype {
+        Dtype::F32 => {
+            let mut data = Vec::new();
+            for _ in 0..len {
+                data.push(r.read_f32().map_err(NnError::Wire)?);
+            }
+            Ok(CkptTensor::Dense(Tensor::from_vec(data, &shape)?))
+        }
+        Dtype::F16 => {
+            let mut data = Vec::new();
+            for _ in 0..len {
+                let bits = r.read_u16().map_err(NnError::Wire)?;
+                data.push(F16::from_u16(bits).to_f32());
+            }
+            Ok(CkptTensor::Dense(Tensor::from_vec(data, &shape)?))
+        }
+        Dtype::I8 => {
+            let scale = r.read_f32().map_err(NnError::Wire)?;
+            let mut levels = Vec::new();
+            for _ in 0..len {
+                levels.push(r.read_i8().map_err(NnError::Wire)?);
+            }
+            let q = QuantTensor::from_levels(levels, scale, &shape)
+                .map_err(NnError::Tensor)?;
+            Ok(CkptTensor::Quant(q))
+        }
+    }
+}
+
+/// Writes the checkpoint body (layer/tensor counts + sections), no header.
+///
+/// Exposed so `dinar-fl` can embed parameter sections inside its larger
+/// resume image.
+///
+/// # Errors
+///
+/// Returns [`NnError::Wire`] if a count, rank or dimension exceeds the
+/// `u32` wire fields.
+pub fn write_params(w: &mut ByteWriter, params: &ModelParams, dtype: Dtype) -> Result<()> {
+    w.put_u32(wire_len(params.layers.len(), "checkpoint layer count")?);
+    for layer in &params.layers {
+        w.put_u32(wire_len(layer.tensors.len(), "checkpoint tensor count")?);
+        for t in &layer.tensors {
+            write_tensor(w, t, dtype)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint body at its on-disk widths (counterpart of
+/// [`write_params`]).
+///
+/// # Errors
+///
+/// Returns [`NnError::Wire`] for any truncation or corrupt header.
+pub fn read_params_raw(r: &mut ByteReader<'_>) -> Result<RawCheckpoint> {
+    let layer_count = r.read_u32().map_err(NnError::Wire)?;
+    let mut layers = Vec::new();
+    for _ in 0..layer_count {
+        let tensor_count = r.read_u32().map_err(NnError::Wire)?;
+        let mut tensors = Vec::new();
+        for _ in 0..tensor_count {
+            tensors.push(read_tensor(r)?);
+        }
+        layers.push(tensors);
+    }
+    Ok(RawCheckpoint { layers })
+}
+
+/// Reads a checkpoint body and densifies it to f32 [`ModelParams`].
+///
+/// # Errors
+///
+/// Same conditions as [`read_params_raw`].
+pub fn read_params(r: &mut ByteReader<'_>) -> Result<ModelParams> {
+    Ok(read_params_raw(r)?.into_params())
+}
+
+/// Encodes `params` as a complete `DNCK` checkpoint under `dtype`.
+///
+/// # Errors
+///
+/// Returns [`NnError::Wire`] if a count, rank or dimension exceeds the
+/// `u32` wire fields.
+pub fn encode_checkpoint(params: &ModelParams, dtype: Dtype) -> Result<Vec<u8>> {
+    let mut w = ByteWriter::with_capacity(encoded_checkpoint_len(params, dtype));
+    write_header(&mut w, CkptKind::Model);
+    write_params(&mut w, params, dtype)?;
+    Ok(w.into_bytes())
+}
+
+/// Decodes a complete `DNCK` checkpoint at its on-disk widths. The whole
+/// buffer must be consumed.
+///
+/// # Errors
+///
+/// Returns [`NnError::Wire`] for truncated buffers, bad magic/version,
+/// unknown dtype tags, overflowing length headers or trailing bytes.
+/// Never panics.
+pub fn decode_checkpoint_raw(bytes: &[u8]) -> Result<RawCheckpoint> {
+    let mut r = ByteReader::new(bytes);
+    expect_header(&mut r, CkptKind::Model)?;
+    let raw = read_params_raw(&mut r)?;
+    r.finish().map_err(NnError::Wire)?;
+    Ok(raw)
+}
+
+/// Decodes a complete `DNCK` checkpoint to dense f32 [`ModelParams`].
+///
+/// # Errors
+///
+/// Same conditions as [`decode_checkpoint_raw`].
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<ModelParams> {
+    Ok(decode_checkpoint_raw(bytes)?.into_params())
+}
+
+/// Saves `params` to a `DNCK` file at `path` under `dtype`.
+///
+/// # Errors
+///
+/// Propagates encode errors; I/O failures surface as
+/// [`NnError::InvalidConfig`] with the path in the message.
+pub fn save(params: &ModelParams, dtype: Dtype, path: impl AsRef<Path>) -> Result<()> {
+    let bytes = encode_checkpoint(params, dtype)?;
+    fs::write(path.as_ref(), bytes).map_err(|e| NnError::InvalidConfig {
+        reason: format!("cannot write checkpoint {}: {e}", path.as_ref().display()),
+    })
+}
+
+/// Loads a `DNCK` file at its on-disk widths.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_checkpoint_raw`], plus I/O failures as
+/// [`NnError::InvalidConfig`].
+pub fn load_raw(path: impl AsRef<Path>) -> Result<RawCheckpoint> {
+    let bytes = fs::read(path.as_ref()).map_err(|e| NnError::InvalidConfig {
+        reason: format!("cannot read checkpoint {}: {e}", path.as_ref().display()),
+    })?;
+    decode_checkpoint_raw(&bytes)
+}
+
+/// Loads a `DNCK` file as dense f32 [`ModelParams`].
+///
+/// # Errors
+///
+/// Same conditions as [`load_raw`].
+pub fn load(path: impl AsRef<Path>) -> Result<ModelParams> {
+    Ok(load_raw(path)?.into_params())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{self, Activation};
+    use dinar_tensor::Rng;
+
+    fn params() -> ModelParams {
+        let mut rng = Rng::seed_from(7);
+        models::mlp(&[4, 6, 3], Activation::Tanh, &mut rng)
+            .unwrap()
+            .params()
+    }
+
+    fn bits(p: &ModelParams) -> Vec<u32> {
+        p.layers
+            .iter()
+            .flat_map(|l| l.tensors.iter())
+            .flat_map(|t| t.as_slice().iter().map(|x| x.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn f32_roundtrip_is_bit_identical() {
+        let p = params();
+        let bytes = encode_checkpoint(&p, Dtype::F32).unwrap();
+        assert_eq!(bytes.len(), encoded_checkpoint_len(&p, Dtype::F32));
+        assert_eq!(&bytes[..4], b"DNCK");
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(bits(&p), bits(&back));
+    }
+
+    #[test]
+    fn f16_roundtrip_halves_payload_and_stays_close() {
+        let p = params();
+        let f32_len = encoded_checkpoint_len(&p, Dtype::F32);
+        let bytes = encode_checkpoint(&p, Dtype::F16).unwrap();
+        assert_eq!(bytes.len(), encoded_checkpoint_len(&p, Dtype::F16));
+        assert!(bytes.len() < f32_len);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert!(back.same_shape(&p));
+        // Init weights are O(1); f16 carries 10 mantissa bits.
+        assert!(back.max_abs_diff(&p).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn f16_is_exact_for_representable_values() {
+        let p = ModelParams::new(vec![crate::params::LayerParams::new(vec![
+            Tensor::from_vec(vec![1.0, -0.5, 0.25, 0.0], &[2, 2]).unwrap(),
+        ])]);
+        let back =
+            decode_checkpoint(&encode_checkpoint(&p, Dtype::F16).unwrap()).unwrap();
+        assert_eq!(bits(&p), bits(&back));
+    }
+
+    #[test]
+    fn i8_matches_the_wire_quantizer_exactly() {
+        let p = params();
+        let bytes = encode_checkpoint(&p, Dtype::I8).unwrap();
+        let raw = decode_checkpoint_raw(&bytes).unwrap();
+        for (layer, raw_layer) in p.layers.iter().zip(&raw.layers) {
+            for (t, sec) in layer.tensors.iter().zip(raw_layer) {
+                let CkptTensor::Quant(q) = sec else {
+                    panic!("i8 checkpoint produced a dense section")
+                };
+                let expect = QuantTensor::quantize(t);
+                assert_eq!(q.levels(), expect.levels());
+                assert_eq!(q.scale().to_bits(), expect.scale().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_width_sections_decode_together() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.125], &[4]).unwrap();
+        let mut w = ByteWriter::new();
+        write_header(&mut w, CkptKind::Model);
+        w.put_u32(1);
+        w.put_u32(3);
+        write_tensor(&mut w, &t, Dtype::F32).unwrap();
+        write_tensor(&mut w, &t, Dtype::F16).unwrap();
+        write_tensor(&mut w, &t, Dtype::I8).unwrap();
+        let raw = decode_checkpoint_raw(&w.into_bytes()).unwrap();
+        assert_eq!(raw.layers.len(), 1);
+        assert_eq!(raw.layers[0].len(), 3);
+        let dense = raw.into_params();
+        assert_eq!(dense.layers[0].tensors[0].as_slice(), t.as_slice());
+        assert_eq!(dense.layers[0].tensors[1].as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn file_roundtrip_at_every_dtype() {
+        let dir = std::env::temp_dir().join("dinar-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = params();
+        for dtype in Dtype::all() {
+            let path = dir.join(format!("ckpt-{}.dnck", dtype.name()));
+            save(&p, dtype, &path).unwrap();
+            let back = load(&path).unwrap();
+            assert!(back.same_shape(&p), "{dtype}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn corrupted_checkpoints_return_typed_errors() {
+        let p = params();
+        let bytes = encode_checkpoint(&p, Dtype::F32).unwrap();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_checkpoint(&bad),
+            Err(NnError::Wire(WireError::BadMagic { .. }))
+        ));
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[4] = 0xFF;
+        assert!(matches!(
+            decode_checkpoint(&bad),
+            Err(NnError::Wire(WireError::UnsupportedVersion { .. }))
+        ));
+        // Unknown kind tag.
+        let mut bad = bytes.clone();
+        bad[6] = 0x7F;
+        assert!(matches!(
+            decode_checkpoint(&bad),
+            Err(NnError::Wire(WireError::UnknownCodec { tag: 0x7F }))
+        ));
+        // Wrong kind (an fl-resume header on a model loader).
+        let mut bad = bytes.clone();
+        bad[6] = CkptKind::FlResume.tag();
+        assert!(matches!(
+            decode_checkpoint(&bad),
+            Err(NnError::InvalidConfig { .. })
+        ));
+        // Unknown dtype tag on the first section.
+        let mut bad = bytes.clone();
+        bad[HEADER_LEN + 8] = 0x7F;
+        assert!(matches!(
+            decode_checkpoint(&bad),
+            Err(NnError::Wire(WireError::UnknownCodec { tag: 0x7F }))
+        ));
+        // Every strict prefix fails.
+        for cut in [0, 3, HEADER_LEN, HEADER_LEN + 5, bytes.len() - 1] {
+            assert!(
+                decode_checkpoint(&bytes[..cut]).is_err(),
+                "prefix {cut} decoded"
+            );
+        }
+        // Trailing garbage fails.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            decode_checkpoint(&extended),
+            Err(NnError::Wire(WireError::TrailingBytes { .. }))
+        ));
+        // A corrupt layer count runs into truncation, not an abort.
+        let mut corrupt = bytes;
+        corrupt[HEADER_LEN] = 0xFF;
+        assert!(decode_checkpoint(&corrupt).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let err = load("/nonexistent/dinar.dnck").unwrap_err();
+        assert!(err.to_string().contains("nonexistent"));
+    }
+}

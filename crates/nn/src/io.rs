@@ -1,140 +1,44 @@
-//! Checkpointing: persist and restore model parameter state.
+//! Checkpoint file I/O: persist and restore model parameter state.
 //!
-//! Cross-silo deployments checkpoint the global model between rounds and
-//! exchange serialized parameters over the wire. [`ModelParams`] implements
-//! the in-repo [`ToJson`] encoding; these helpers add a versioned JSON
-//! envelope with an architecture fingerprint so that loading into a
-//! mismatched model fails loudly instead of silently misassigning tensors.
+//! Thin convenience wrappers over the versioned [`crate::ckpt`] (`DNCK`)
+//! binary format. Historically this module carried its own JSON envelope
+//! with a shape fingerprint; that duplicate serialization path is gone —
+//! `DNCK` is the single on-disk format, its per-tensor shape headers serve
+//! as the fingerprint, and loading into a mismatched model still fails
+//! loudly at [`crate::Model::set_params`].
 
-use crate::{ModelParams, NnError, Result};
-use dinar_tensor::json::{Json, ToJson};
-use std::fs;
+use crate::{ckpt, ModelParams, Result};
+use dinar_tensor::Dtype;
 use std::path::Path;
 
-/// Envelope format version.
-const VERSION: u64 = 1;
-
-/// Shape fingerprint of a parameter set: per layer, per tensor, the shape.
-fn fingerprint(params: &ModelParams) -> Vec<Vec<Vec<usize>>> {
-    params
-        .layers
-        .iter()
-        .map(|l| l.tensors.iter().map(|t| t.shape().to_vec()).collect())
-        .collect()
-}
-
-/// Serializes parameters to a JSON string.
+/// Saves parameters to a lossless (f32) `DNCK` checkpoint file.
+///
+/// Use [`ckpt::save`] directly to pick a narrower storage width (f16/i8).
 ///
 /// # Errors
 ///
-/// Returns [`NnError::InvalidConfig`] if serialization fails (practically
-/// impossible for in-memory parameters).
-pub fn to_json(params: &ModelParams) -> Result<String> {
-    let envelope = Json::obj(vec![
-        ("version", VERSION.to_json()),
-        ("fingerprint", fingerprint(params).to_json()),
-        ("params", params.to_json()),
-    ]);
-    Ok(envelope.dump())
-}
-
-/// Deserializes parameters from a JSON string, verifying the envelope.
-///
-/// # Errors
-///
-/// Returns [`NnError::InvalidConfig`] for malformed JSON or an unsupported
-/// version, and [`NnError::ParamShapeMismatch`] if the payload's tensors do
-/// not match its own fingerprint (a corrupted or tampered checkpoint).
-pub fn from_json(json: &str) -> Result<ModelParams> {
-    let value = Json::parse(json).map_err(|e| NnError::InvalidConfig {
-        reason: format!("malformed checkpoint: {e}"),
-    })?;
-    let version = value
-        .get("version")
-        .and_then(Json::as_u64)
-        .ok_or_else(|| NnError::InvalidConfig {
-            reason: "checkpoint missing numeric `version`".into(),
-        })?;
-    if version != VERSION {
-        return Err(NnError::InvalidConfig {
-            reason: format!("unsupported checkpoint version {version} (expected {VERSION})"),
-        });
-    }
-    let declared = parse_fingerprint(value.get("fingerprint").ok_or_else(|| {
-        NnError::InvalidConfig {
-            reason: "checkpoint missing `fingerprint`".into(),
-        }
-    })?)?;
-    let params = ModelParams::from_json(value.get("params").ok_or_else(|| {
-        NnError::InvalidConfig {
-            reason: "checkpoint missing `params`".into(),
-        }
-    })?)?;
-    if fingerprint(&params) != declared {
-        return Err(NnError::ParamShapeMismatch {
-            reason: "checkpoint fingerprint does not match its tensors".into(),
-        });
-    }
-    Ok(params)
-}
-
-/// Parses the nested shape-fingerprint array from a checkpoint envelope.
-fn parse_fingerprint(value: &Json) -> Result<Vec<Vec<Vec<usize>>>> {
-    let malformed = || NnError::InvalidConfig {
-        reason: "checkpoint `fingerprint` is not a nested array of shapes".into(),
-    };
-    value
-        .as_arr()
-        .ok_or_else(malformed)?
-        .iter()
-        .map(|layer| {
-            layer
-                .as_arr()
-                .ok_or_else(malformed)?
-                .iter()
-                .map(|shape| {
-                    shape
-                        .as_arr()
-                        .ok_or_else(malformed)?
-                        .iter()
-                        .map(|d| d.as_usize().ok_or_else(malformed))
-                        .collect()
-                })
-                .collect()
-        })
-        .collect()
-}
-
-/// Saves parameters to a file.
-///
-/// # Errors
-///
-/// Propagates serialization errors; I/O failures surface as
-/// [`NnError::InvalidConfig`] with the path in the message.
+/// Propagates encode errors; I/O failures surface as
+/// [`crate::NnError::InvalidConfig`] with the path in the message.
 pub fn save(params: &ModelParams, path: impl AsRef<Path>) -> Result<()> {
-    let json = to_json(params)?;
-    fs::write(path.as_ref(), json).map_err(|e| NnError::InvalidConfig {
-        reason: format!("cannot write checkpoint {}: {e}", path.as_ref().display()),
-    })
+    ckpt::save(params, Dtype::F32, path)
 }
 
-/// Loads parameters from a file.
+/// Loads parameters from a `DNCK` checkpoint file, widening any narrow
+/// (f16/i8) sections to dense f32.
 ///
 /// # Errors
 ///
-/// Same conditions as [`from_json`], plus I/O failures as
-/// [`NnError::InvalidConfig`].
+/// Returns [`crate::NnError::Wire`] for corrupt or truncated checkpoints
+/// and [`crate::NnError::InvalidConfig`] for I/O failures.
 pub fn load(path: impl AsRef<Path>) -> Result<ModelParams> {
-    let json = fs::read_to_string(path.as_ref()).map_err(|e| NnError::InvalidConfig {
-        reason: format!("cannot read checkpoint {}: {e}", path.as_ref().display()),
-    })?;
-    from_json(&json)
+    ckpt::load(path)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::models::{self, Activation};
+    use crate::NnError;
     use dinar_tensor::Rng;
 
     fn params() -> ModelParams {
@@ -145,18 +49,10 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrip_is_exact() {
-        let original = params();
-        let json = to_json(&original).unwrap();
-        let restored = from_json(&json).unwrap();
-        assert_eq!(original, restored);
-    }
-
-    #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip_is_exact() {
         let dir = std::env::temp_dir().join("dinar-io-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("ckpt.json");
+        let path = dir.join("ckpt.dnck");
         let original = params();
         save(&original, &path).unwrap();
         let restored = load(&path).unwrap();
@@ -166,33 +62,31 @@ mod tests {
 
     #[test]
     fn restored_params_install_into_matching_model() {
+        let dir = std::env::temp_dir().join("dinar-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("install.dnck");
+        save(&params(), &path).unwrap();
+        let restored = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
         let mut rng = Rng::seed_from(7);
         let mut model = models::mlp(&[4, 6, 3], Activation::Tanh, &mut rng).unwrap();
-        let json = to_json(&params()).unwrap();
-        let restored = from_json(&json).unwrap();
         model.set_params(&restored).unwrap();
     }
 
     #[test]
-    fn malformed_json_rejected() {
-        assert!(matches!(
-            from_json("{not json"),
-            Err(NnError::InvalidConfig { .. })
-        ));
-    }
-
-    #[test]
-    fn wrong_version_rejected() {
-        let json = to_json(&params()).unwrap().replace("\"version\":1", "\"version\":99");
-        assert!(matches!(
-            from_json(&json),
-            Err(NnError::InvalidConfig { .. })
-        ));
+    fn malformed_file_rejected() {
+        let dir = std::env::temp_dir().join("dinar-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.dnck");
+        std::fs::write(&path, b"{not a checkpoint").unwrap();
+        let err = load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, NnError::Wire(_)), "got {err:?}");
     }
 
     #[test]
     fn missing_file_is_a_clean_error() {
-        let err = load("/nonexistent/dinar.ckpt").unwrap_err();
+        let err = load("/nonexistent/dinar.dnck").unwrap_err();
         assert!(err.to_string().contains("nonexistent"));
     }
 }

@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod activation;
+pub mod ckpt;
 pub mod conv;
 pub mod dense;
 pub mod dropout;
@@ -58,6 +59,7 @@ pub mod norm;
 pub mod optim;
 pub mod params;
 pub mod pool;
+pub mod serve;
 pub mod snapshot;
 pub mod view;
 

@@ -40,6 +40,79 @@ pub trait Optimizer: std::fmt::Debug + Send {
     fn attach_telemetry(&mut self, telemetry: &dinar_telemetry::Telemetry, client_id: usize) {
         let _ = (telemetry, client_id);
     }
+
+    /// Snapshots the optimizer's mutable state for checkpointing. The
+    /// default (for stateless or wrapper optimizers) is the empty state.
+    /// Hyper-parameters fixed at construction (learning rate, betas) are
+    /// configuration, not state, and are not exported.
+    fn export_state(&self) -> OptimState {
+        OptimState::default()
+    }
+
+    /// Restores state exported by [`Optimizer::export_state`] from the same
+    /// optimizer type, so a resumed run steps bit-identically to an
+    /// uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::InvalidConfig`] if the snapshot's shape
+    /// (scalar/group counts) does not match this optimizer.
+    fn import_state(&mut self, state: OptimState) -> Result<()> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::NnError::InvalidConfig {
+                reason: format!(
+                    "`{}` carries no restorable state, got a non-empty snapshot",
+                    self.name()
+                ),
+            })
+        }
+    }
+}
+
+/// A serializable snapshot of an optimizer's mutable state: what the
+/// checkpoint plane persists so a killed run resumes its parameter updates
+/// bit-identically.
+///
+/// The container is deliberately generic — scalar registers plus groups of
+/// per-parameter tensors — so one `DNCK` section layout covers every
+/// optimizer in the zoo (SGD velocity, Adagrad accumulators, Adam moments
+/// and step count, ADGD's λ/θ and previous iterates).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OptimState {
+    /// Scalar state registers (e.g. Adam's step count, ADGD's λ and θ).
+    pub scalars: Vec<f32>,
+    /// Per-parameter tensor state, one group per state slot (e.g. Adam's
+    /// first and second moment estimates are two groups).
+    pub groups: Vec<Vec<Tensor>>,
+}
+
+impl OptimState {
+    /// `true` if the snapshot carries no state at all.
+    pub fn is_empty(&self) -> bool {
+        self.scalars.is_empty() && self.groups.iter().all(Vec::is_empty)
+    }
+}
+
+/// Validates an imported snapshot's arity against what an optimizer wrote.
+fn check_state_arity(
+    name: &'static str,
+    state: &OptimState,
+    scalars: usize,
+    groups: usize,
+) -> Result<()> {
+    if state.scalars.len() != scalars || state.groups.len() != groups {
+        return Err(crate::NnError::InvalidConfig {
+            reason: format!(
+                "`{name}` state snapshot has {} scalar(s) and {} group(s), \
+                 expected {scalars} and {groups}",
+                state.scalars.len(),
+                state.groups.len()
+            ),
+        });
+    }
+    Ok(())
 }
 
 fn ensure_state(state: &mut Vec<Tensor>, params: &[(&mut Tensor, &Tensor)]) {
@@ -106,6 +179,19 @@ impl Optimizer for Sgd {
     fn name(&self) -> &'static str {
         "sgd"
     }
+
+    fn export_state(&self) -> OptimState {
+        OptimState {
+            scalars: Vec::new(),
+            groups: vec![self.velocity.clone()],
+        }
+    }
+
+    fn import_state(&mut self, mut state: OptimState) -> Result<()> {
+        check_state_arity("sgd", &state, 0, 1)?;
+        self.velocity = state.groups.swap_remove(0);
+        Ok(())
+    }
 }
 
 /// The paper's adaptive gradient descent (Algorithm 1, lines 8–14).
@@ -157,6 +243,19 @@ impl Optimizer for Adagrad {
 
     fn name(&self) -> &'static str {
         "adagrad"
+    }
+
+    fn export_state(&self) -> OptimState {
+        OptimState {
+            scalars: Vec::new(),
+            groups: vec![self.accum.clone()],
+        }
+    }
+
+    fn import_state(&mut self, mut state: OptimState) -> Result<()> {
+        check_state_arity("adagrad", &state, 0, 1)?;
+        self.accum = state.groups.swap_remove(0);
+        Ok(())
     }
 }
 
@@ -220,6 +319,22 @@ impl Optimizer for Adam {
     fn name(&self) -> &'static str {
         "adam"
     }
+
+    fn export_state(&self) -> OptimState {
+        OptimState {
+            // Exact in f32 up to 2^24 steps — far beyond any training run.
+            scalars: vec![self.t as f32],
+            groups: vec![self.m.clone(), self.v.clone()],
+        }
+    }
+
+    fn import_state(&mut self, mut state: OptimState) -> Result<()> {
+        check_state_arity("adam", &state, 1, 2)?;
+        self.t = state.scalars[0] as u32;
+        self.v = state.groups.swap_remove(1);
+        self.m = state.groups.swap_remove(0);
+        Ok(())
+    }
 }
 
 /// AdaMax optimizer — the infinity-norm variant of Adam (Kingma & Ba, 2015).
@@ -279,6 +394,21 @@ impl Optimizer for AdaMax {
     fn name(&self) -> &'static str {
         "adamax"
     }
+
+    fn export_state(&self) -> OptimState {
+        OptimState {
+            scalars: vec![self.t as f32],
+            groups: vec![self.m.clone(), self.u.clone()],
+        }
+    }
+
+    fn import_state(&mut self, mut state: OptimState) -> Result<()> {
+        check_state_arity("adamax", &state, 1, 2)?;
+        self.t = state.scalars[0] as u32;
+        self.u = state.groups.swap_remove(1);
+        self.m = state.groups.swap_remove(0);
+        Ok(())
+    }
 }
 
 /// RMSProp optimizer (Tieleman & Hinton).
@@ -323,6 +453,19 @@ impl Optimizer for RmsProp {
 
     fn name(&self) -> &'static str {
         "rmsprop"
+    }
+
+    fn export_state(&self) -> OptimState {
+        OptimState {
+            scalars: Vec::new(),
+            groups: vec![self.sq.clone()],
+        }
+    }
+
+    fn import_state(&mut self, mut state: OptimState) -> Result<()> {
+        check_state_arity("rmsprop", &state, 0, 1)?;
+        self.sq = state.groups.swap_remove(0);
+        Ok(())
     }
 }
 
@@ -405,6 +548,23 @@ impl Optimizer for Adgd {
 
     fn name(&self) -> &'static str {
         "adgd"
+    }
+
+    fn export_state(&self) -> OptimState {
+        OptimState {
+            // λ and θ evolve per step; the clamp bounds are configuration.
+            scalars: vec![self.lambda, self.theta],
+            groups: vec![self.prev_params.clone(), self.prev_grads.clone()],
+        }
+    }
+
+    fn import_state(&mut self, mut state: OptimState) -> Result<()> {
+        check_state_arity("adgd", &state, 2, 2)?;
+        self.lambda = state.scalars[0];
+        self.theta = state.scalars[1];
+        self.prev_grads = state.groups.swap_remove(1);
+        self.prev_params = state.groups.swap_remove(0);
+        Ok(())
     }
 }
 
@@ -522,5 +682,67 @@ mod tests {
         // value and stayed finite.
         assert!(opt.lambda.is_finite());
         assert_ne!(opt.lambda, 1e-3);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_trajectory() {
+        // Train N steps, export params + optimizer state, continue M more
+        // steps → reference losses. Then: fresh model + fresh optimizer,
+        // install the exported snapshot, continue M more. Both continuations
+        // must produce bit-identical losses for every optimizer.
+        for name in ["sgd", "adagrad", "adam", "adamax", "rmsprop", "adgd"] {
+            let mut rng = Rng::seed_from(9);
+            let n = 24;
+            let mut x = Tensor::zeros(&[n, 2]);
+            let mut labels = Vec::new();
+            for i in 0..n {
+                x.set(&[i, 0], rng.normal()).unwrap();
+                x.set(&[i, 1], rng.normal()).unwrap();
+                labels.push(i % 3);
+            }
+            let mut model = models::mlp(&[2, 16, 3], Activation::ReLU, &mut rng).unwrap();
+
+            let mut step = |model: &mut crate::model::Model, opt: &mut dyn Optimizer| {
+                let logits = model.forward(&x, true).unwrap();
+                let (loss, grad) = CrossEntropyLoss.loss_and_grad(&logits, &labels).unwrap();
+                model.zero_grad();
+                model.backward(&grad).unwrap();
+                opt.step(model).unwrap();
+                loss
+            };
+
+            let mut opt = by_name(name, 0.01).unwrap();
+            for _ in 0..5 {
+                step(&mut model, opt.as_mut());
+            }
+            let state = opt.export_state();
+            let params = model.params();
+
+            let mut ref_losses = Vec::new();
+            for _ in 0..3 {
+                ref_losses.push(step(&mut model, opt.as_mut()));
+            }
+
+            let mut rng2 = Rng::seed_from(1234);
+            let mut resumed = models::mlp(&[2, 16, 3], Activation::ReLU, &mut rng2).unwrap();
+            resumed.set_params(&params).unwrap();
+            let mut fresh = by_name(name, 0.01).unwrap();
+            fresh.import_state(state).unwrap();
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                got.push(step(&mut resumed, fresh.as_mut()));
+            }
+            assert_eq!(ref_losses, got, "{name} diverged after state import");
+        }
+    }
+
+    #[test]
+    fn import_rejects_mismatched_arity() {
+        let mut opt = Adam::new(0.01);
+        let bad = OptimState { scalars: Vec::new(), groups: vec![Vec::new()] };
+        assert!(opt.import_state(bad).is_err());
+        // A fresh optimizer's own export always round-trips.
+        let fresh = Adam::new(0.01).export_state();
+        assert!(opt.import_state(fresh).is_ok());
     }
 }

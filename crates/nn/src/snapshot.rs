@@ -95,7 +95,7 @@ pub fn decode_params(bytes: &[u8]) -> Result<ModelParams> {
     Ok(ModelParams::new(layers))
 }
 
-fn wire_len(n: usize, what: &'static str) -> Result<u32> {
+pub(crate) fn wire_len(n: usize, what: &'static str) -> Result<u32> {
     u32::try_from(n).map_err(|_| {
         NnError::Wire(WireError::LengthOverflow {
             what,

@@ -43,12 +43,14 @@ pub mod par;
 pub mod profile;
 pub mod rng;
 pub mod sanitize;
+pub mod storage;
 mod tensor;
 pub mod wire;
 
 pub use cbrng::CbRng;
 pub use error::TensorError;
-pub use rng::Rng;
+pub use rng::{Rng, RngState};
+pub use storage::{Buffer, BufferPool, Dtype, Element, QuantTensor, F16};
 pub use tensor::Tensor;
 
 /// Crate-wide result alias for fallible tensor operations.

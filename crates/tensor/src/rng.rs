@@ -40,6 +40,19 @@ pub struct Rng {
     gauss_cache: Option<f32>,
 }
 
+/// A serializable snapshot of an [`Rng`]'s full state, taken with
+/// [`Rng::state`] and restored with [`Rng::from_state`]. This is what the
+/// checkpoint plane persists so that a resumed run continues every client's
+/// stream bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RngState {
+    /// The four xoshiro256\*\* state words.
+    pub words: [u64; 4],
+    /// The in-flight Box–Muller half-sample, if a scalar Gaussian pair was
+    /// split across the snapshot point.
+    pub gauss_cache: Option<f32>,
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
@@ -88,6 +101,26 @@ impl Rng {
         Rng {
             state,
             gauss_cache: None,
+        }
+    }
+
+    /// Snapshots the full generator state for checkpointing: the four
+    /// xoshiro words plus the Box–Muller half-sample cache. Restoring with
+    /// [`Rng::from_state`] resumes the stream bit-exactly, including an
+    /// in-flight scalar Gaussian pair.
+    pub fn state(&self) -> RngState {
+        RngState {
+            words: self.state,
+            gauss_cache: self.gauss_cache,
+        }
+    }
+
+    /// Rebuilds a generator from a [`RngState`] snapshot; the restored
+    /// stream continues exactly where [`Rng::state`] was taken.
+    pub fn from_state(state: RngState) -> Rng {
+        Rng {
+            state: state.words,
+            gauss_cache: state.gauss_cache,
         }
     }
 

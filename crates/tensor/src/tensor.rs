@@ -19,40 +19,16 @@ fn min_rows_for(k: usize, n: usize) -> usize {
 
 /// Reference-counted storage behind a [`Tensor`]: the copy-on-write unit.
 ///
-/// A `Buf` owns the flat element vector and is the single place where the
+/// Since the storage/backend split this is the `f32` instantiation of the
+/// dtype-generic [`storage::Buffer`](crate::storage::Buffer), which owns the
+/// flat element vector and is the single place where the
 /// [`alloc`](crate::alloc) ledgers see tensor memory: construction records
 /// the allocation, dropping the last `Arc` records the deallocation (on the
 /// dropping thread, preserving the cross-thread two-ledger semantics), and
 /// `Clone` — reached only through `Arc::make_mut` when a *shared* buffer is
 /// written — records the allocation of the materialized private copy plus a
 /// [`profile::record_buffer_copy`] tick for the copy-traffic counters.
-#[derive(Debug)]
-struct Buf {
-    data: Vec<f32>,
-}
-
-impl Buf {
-    fn new(data: Vec<f32>) -> Self {
-        alloc::record_alloc((data.len() * 4) as u64);
-        Buf { data }
-    }
-}
-
-impl Clone for Buf {
-    fn clone(&self) -> Self {
-        alloc::record_alloc((self.data.len() * 4) as u64);
-        profile::record_buffer_copy((self.data.len() * 4) as u64);
-        Buf {
-            data: self.data.clone(),
-        }
-    }
-}
-
-impl Drop for Buf {
-    fn drop(&mut self) {
-        alloc::record_dealloc((self.data.len() * 4) as u64);
-    }
-}
+type Buf = crate::storage::Buffer<f32>;
 
 /// A dense, contiguous, row-major `f32` tensor with copy-on-write storage.
 ///
@@ -132,6 +108,24 @@ impl Tensor {
             buf: Arc::new(Buf::new(data)),
             shape,
         }
+    }
+
+    /// Wraps an already-accounted [`storage::Buffer`](crate::storage::Buffer)
+    /// (e.g. one acquired from a [`BufferPool`](crate::storage::BufferPool))
+    /// without re-registering it; the invariant that `shape` matches the
+    /// buffer length is the caller's and is checked in debug builds only.
+    pub(crate) fn from_buffer_unchecked(buf: Buf, shape: Vec<usize>) -> Self {
+        debug_assert_eq!(shape.iter().product::<usize>(), buf.len());
+        Tensor {
+            buf: Arc::new(buf),
+            shape,
+        }
+    }
+
+    /// Recovers the underlying buffer if this tensor is its sole owner
+    /// (pool reclamation); a shared buffer stays with its other owners.
+    pub(crate) fn try_into_buffer(self) -> Option<Buf> {
+        Arc::try_unwrap(self.buf).ok()
     }
 
     /// Deserializes a tensor from its JSON form (see [`ToJson`] impl),

@@ -48,6 +48,7 @@
 //! L017 keeps byte-level (de)serialization confined to this module and
 //! bans bare narrowing casts inside it.
 
+use crate::storage::QuantTensor;
 use crate::{cast, Tensor};
 use std::fmt;
 
@@ -553,17 +554,67 @@ pub fn decode_tensor(r: &mut ByteReader<'_>, codec: Codec) -> WireResult<Tensor>
             data
         }
         Codec::QuantI8 => {
-            let scale = r.read_f32()?;
-            let bytes = r.take(len)?;
-            let mut data = Vec::with_capacity(len);
-            for &b in bytes {
-                data.push(f32::from(i8::from_le_bytes([b])) * scale);
-            }
-            data
+            // Route through native i8 storage and dequantize eagerly;
+            // callers that want to stay quantized use
+            // [`decode_tensor_quant`] directly.
+            let q = decode_quant_payload(r, len, &shape)?;
+            return Ok(q.to_tensor());
         }
     };
     let actual = data.len();
     Tensor::from_vec(data, &shape).map_err(|_| WireError::ShapeMismatch {
+        declared: len,
+        actual,
+    })
+}
+
+/// Decodes one `QuantI8` tensor frame natively into `i8` storage: one byte
+/// per element lands in a [`Buffer<i8>`](crate::storage::Buffer) instead of
+/// a four-byte `f32`, and the dense form is materialized lazily at first
+/// read ([`QuantTensor::dense`](crate::storage::QuantTensor::dense)).
+///
+/// # Errors
+///
+/// Returns a typed [`WireError`] for any truncated, oversized or corrupt
+/// frame; never panics.
+pub fn decode_tensor_quant(r: &mut ByteReader<'_>) -> WireResult<QuantTensor> {
+    let rank = len_to_usize(r.read_u32()?, "rank")?;
+    if rank > MAX_RANK {
+        return Err(WireError::LengthOverflow {
+            what: "rank",
+            value: u64::try_from(rank).unwrap_or(u64::MAX),
+        });
+    }
+    let mut shape = Vec::with_capacity(rank);
+    let mut len = 1usize;
+    for _ in 0..rank {
+        let d = len_to_usize(r.read_u32()?, "dim")?;
+        len = len
+            .checked_mul(d)
+            .ok_or(WireError::LengthOverflow {
+                what: "element count",
+                value: u64::MAX,
+            })?;
+        shape.push(d);
+    }
+    decode_quant_payload(r, len, &shape)
+}
+
+/// Shared `QuantI8` payload decoder: scale, then `len` raw level bytes
+/// straight into `i8` storage (bounds-checked before allocating).
+fn decode_quant_payload(
+    r: &mut ByteReader<'_>,
+    len: usize,
+    shape: &[usize],
+) -> WireResult<QuantTensor> {
+    let scale = r.read_f32()?;
+    let bytes = r.take(len)?;
+    let mut levels = Vec::with_capacity(len);
+    for &b in bytes {
+        levels.push(i8::from_le_bytes([b]));
+    }
+    let actual = levels.len();
+    QuantTensor::from_levels(levels, scale, shape).map_err(|_| WireError::ShapeMismatch {
         declared: len,
         actual,
     })
@@ -587,7 +638,9 @@ fn sign1_scale(xs: &[f32]) -> f32 {
 }
 
 /// The QuantI8 shared scale: max |x| / 127 over the finite entries.
-fn quant_scale(xs: &[f32]) -> f32 {
+/// Crate-visible so [`QuantTensor::quantize`](crate::storage::QuantTensor)
+/// produces bit-identical levels to the wire codec.
+pub(crate) fn quant_scale(xs: &[f32]) -> f32 {
     let mut max_abs = 0.0f32;
     for &x in xs {
         if x.is_finite() {

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Checkpoint the final global model and prove the round trip.
-    let path = std::env::temp_dir().join("dinar-global.ckpt.json");
+    let path = std::env::temp_dir().join("dinar-global.dnck");
     io::save(system.global_params(), &path)?;
     let restored = io::load(&path)?;
     assert!(system.global_params().max_abs_diff(&restored)? < 1e-9);

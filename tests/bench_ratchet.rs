@@ -186,6 +186,63 @@ fn wire_compression_ratio_holds_8x() {
     );
 }
 
+/// Minimum resident-weight-bytes shrink the quant_i8 serving path must
+/// keep delivering over f32 serving. The theoretical ceiling is 4× (one
+/// i8 per f32) minus the per-tensor scale and the always-dense biases;
+/// the committed artifact measures ~3.98×, so 2× leaves headroom while
+/// still catching a regression to widened-at-load storage.
+const SERVE_I8_MIN_BYTES_RATIO: f64 = 2.0;
+
+#[test]
+fn i8_serving_halves_resident_weight_bytes() {
+    // Resident bytes are a pure function of the architecture and dtype, so
+    // that column is bit-reproducible; throughput is measured, so its bound
+    // is a generous sanity floor (the artifact shows i8 at parity or
+    // better — dequantize-into-pooled-scratch never dominates the matmul).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let path = root.join("bench-results/BENCH_serve.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{} must be committed (regenerate with `DINAR_THREADS=1 cargo run \
+             --release -p dinar-bench --bin bench_serve`): {e}",
+            path.display()
+        )
+    });
+    let json = Json::parse(&text).expect("committed serve report parses");
+    let rows = json.as_arr().expect("serve report is an array of rows");
+    let row = |storage: &str| {
+        rows.iter()
+            .find(|r| r.get("storage").and_then(Json::as_str) == Some(storage))
+            .unwrap_or_else(|| panic!("serve report has no {storage} row"))
+    };
+    let field = |storage: &str, key: &str| -> f64 {
+        row(storage)
+            .get(key)
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{storage} row missing {key}"))
+    };
+    let f32_bytes = field("f32", "resident_weight_bytes");
+    let i8_bytes = field("quant_i8", "resident_weight_bytes");
+    assert!(f32_bytes > 0.0 && i8_bytes > 0.0, "empty byte columns");
+    let ratio = f32_bytes / i8_bytes;
+    assert!(
+        ratio >= SERVE_I8_MIN_BYTES_RATIO,
+        "quant_i8 serving at {i8_bytes:.0} resident B vs f32 {f32_bytes:.0} B \
+         is only {ratio:.2}x smaller — below the {SERVE_I8_MIN_BYTES_RATIO}x \
+         serving ratchet"
+    );
+    // "At equal batch throughput": the quantized path must not buy its
+    // memory shrink with serving speed. Half of f32 throughput is a loose
+    // floor against timing noise; the artifact measures ≥1× in practice.
+    let f32_rps = field("f32", "rows_per_s");
+    let i8_rps = field("quant_i8", "rows_per_s");
+    assert!(
+        i8_rps >= 0.5 * f32_rps,
+        "quant_i8 serving at {i8_rps:.0} rows/s fell under half the f32 \
+         throughput ({f32_rps:.0} rows/s)"
+    );
+}
+
 #[test]
 fn sampler_rows_cover_the_allocation_free_paths() {
     // The suite must keep reporting the allocation-free sampler entry

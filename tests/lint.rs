@@ -1,9 +1,9 @@
 //! Workspace lint gate: runs the `dinar-lint` ratchet as part of
-//! `cargo test`, so a new violation of any repo invariant (L001–L017)
+//! `cargo test`, so a new violation of any repo invariant (L001–L018)
 //! fails CI even if nobody ran the CLI. The semantic rules L010–L016 and
-//! the wire-confinement rule L017 are ratcheted at zero here (not via the
-//! baseline), and the baseline file itself is checked for unknown rule IDs
-//! and stale paths.
+//! the confinement rules L017/L018 are ratcheted at zero here (not via
+//! the baseline), and the baseline file itself is checked for unknown
+//! rule IDs and stale paths.
 
 use std::path::Path;
 
@@ -132,6 +132,32 @@ fn wire_codecs_stay_confined_at_zero() {
         l017.is_empty(),
         "wire confinement violated:\n{}",
         l017.iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn bit_pattern_casts_stay_confined_at_zero() {
+    // L018 starts — and must stay — at zero: every bit-pattern
+    // reinterpretation between storage element types lives in the
+    // sanctioned generic-storage module (crates/tensor/src/storage.rs),
+    // whose Element impls are pinned by exact round-trip property tests.
+    // A second `to_bit_pattern`/`from_bit_pattern` spelling (or a
+    // `transmute`) elsewhere is an unaudited reinterpretation that can
+    // silently diverge from the canonical one and break the
+    // width-independent bit-identicality the checkpoint plane promises.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let (findings, _) = dinar_lint::check_against_baseline(root).expect("lint pass should run");
+    let l018: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == dinar_lint::rules::Rule::L018)
+        .collect();
+    assert!(
+        l018.is_empty(),
+        "element confinement violated:\n{}",
+        l018.iter()
             .map(|f| format!("  {f}"))
             .collect::<Vec<_>>()
             .join("\n")
